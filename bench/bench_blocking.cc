@@ -1,0 +1,138 @@
+// E2 + E3 — Non-blocking reads and the 3*delta blocking bound (paper S3).
+//
+// Claims:
+//   (E2) After the system stabilizes, reads at the leader never block; reads
+//        at any other process block only when a *conflicting* RMW operation
+//        is pending there.
+//   (E3) A read that does block does so for at most 3*delta local time.
+//
+// We sweep the conflicting-write rate and report, per process class
+// (leader / followers), the fraction of reads that blocked and the maximum
+// blocking duration, as a multiple of delta. A second table sweeps delta
+// itself to show the 3*delta scaling.
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "object/kv_object.h"
+
+namespace cht::bench {
+namespace {
+
+struct BlockingResult {
+  std::int64_t leader_reads = 0;
+  std::int64_t leader_blocked = 0;
+  std::int64_t follower_reads = 0;
+  std::int64_t follower_blocked = 0;
+  Duration follower_max_block = Duration::zero();
+};
+
+BlockingResult run(Duration delta, Duration write_gap, bool conflicting,
+                   std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n = 5;
+  config.seed = seed;
+  config.delta = delta;
+  harness::Cluster cluster(config, std::make_shared<object::KVObject>());
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  const int leader = cluster.steady_leader();
+
+  std::vector<core::Replica::Stats> before(cluster.n());
+  for (int i = 0; i < cluster.n(); ++i) before[i] = cluster.replica(i).stats();
+
+  const std::string read_key = "hot";
+  const std::string write_key = conflicting ? "hot" : "cold";
+  for (int step = 0; step < 300; ++step) {
+    cluster.submit((leader + 1) % cluster.n(),
+                   object::KVObject::put(write_key, std::to_string(step)));
+    // Reads land while the write is (likely) still pending.
+    cluster.run_for(delta / 2);
+    for (int i = 0; i < cluster.n(); ++i) {
+      cluster.submit(i, object::KVObject::get(read_key));
+    }
+    cluster.run_for(write_gap);
+  }
+  cluster.await_quiesce(Duration::seconds(60));
+
+  BlockingResult result;
+  for (int i = 0; i < cluster.n(); ++i) {
+    const auto& s = cluster.replica(i).stats();
+    const auto reads = s.reads_completed - before[i].reads_completed;
+    const auto blocked = s.reads_blocked - before[i].reads_blocked;
+    if (i == leader) {
+      result.leader_reads += reads;
+      result.leader_blocked += blocked;
+    } else {
+      result.follower_reads += reads;
+      result.follower_blocked += blocked;
+      result.follower_max_block =
+          std::max(result.follower_max_block, s.max_read_block);
+    }
+  }
+  return result;
+}
+
+std::string pct(std::int64_t part, std::int64_t whole) {
+  if (whole == 0) return "-";
+  return metrics::Table::num(100.0 * part / whole, 1) + "%";
+}
+
+}  // namespace
+}  // namespace cht::bench
+
+int main() {
+  using namespace cht;
+  using namespace cht::bench;
+
+  print_experiment_header(
+      "E2: which reads block (post-GST)",
+      "Claim (paper S3): leader reads never block; follower reads block only\n"
+      "when a pending RMW *conflicts*; non-conflicting writes never block\n"
+      "reads. Workload: continuous writes, reads at every process.");
+
+  {
+    const Duration delta = Duration::millis(10);
+    metrics::Table table({"writes", "leader blocked", "follower blocked",
+                          "follower max block (x delta)"});
+    for (const bool conflicting : {true, false}) {
+      const auto r = run(delta, Duration::millis(15), conflicting, 7);
+      table.add_row(
+          {conflicting ? "conflicting (same key)" : "non-conflicting (other key)",
+           pct(r.leader_blocked, r.leader_reads),
+           pct(r.follower_blocked, r.follower_reads),
+           metrics::Table::num(r.follower_max_block.to_micros() /
+                                   static_cast<double>(delta.to_micros()),
+                               2)});
+    }
+    table.print(std::cout);
+  }
+
+  print_experiment_header(
+      "E3: blocked reads are bounded by 3*delta",
+      "Claim (paper S3): a read that blocks does so for at most 3*delta.\n"
+      "Sweep delta; the max observed block must stay below 3*delta.");
+
+  {
+    metrics::Table table({"delta (ms)", "max block (ms)", "max block / delta",
+                          "bound 3*delta respected"});
+    for (const std::int64_t delta_ms : {2, 5, 10, 20, 50}) {
+      const Duration delta = Duration::millis(delta_ms);
+      Duration worst = Duration::zero();
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto r = run(delta, Duration::millis(delta_ms * 3 / 2), true, seed);
+        worst = std::max(worst, r.follower_max_block);
+      }
+      table.add_row({metrics::Table::num(static_cast<std::int64_t>(delta_ms)),
+                     ms2(worst),
+                     metrics::Table::num(worst.to_micros() /
+                                             static_cast<double>(delta.to_micros()),
+                                         2),
+                     worst <= 3 * delta ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: leader 0% blocked; follower blocking only in\n"
+               "the conflicting row; max block / delta <= 3 at every delta.\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// E7 — Failover behaviour (paper S3 leader initialization, S5 Megastore
+// livelock / VR static-order contrasts).
+//
+// Claims:
+//   - a new leader deterministically resolves its predecessor's half-done
+//     batch (commit-or-supersede) during initialization;
+//   - failover time is a small multiple of the failure-detection timeout,
+//     regardless of at which protocol phase the old leader crashed;
+//   - read availability returns as soon as the new leader issues leases.
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "harness/vr_cluster.h"
+#include "object/kv_object.h"
+
+namespace cht::bench {
+namespace {
+
+constexpr Duration kDelta = Duration::millis(10);
+
+struct FailoverResult {
+  Duration new_leader_elected;   // crash -> a different steady leader
+  Duration write_completed;      // crash -> in-flight write committed
+  Duration reads_available;      // crash -> follower read completes
+  bool consistent = false;
+};
+
+FailoverResult run(Duration crash_offset, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n = 5;
+  config.seed = seed;
+  config.delta = kDelta;
+  harness::Cluster cluster(config, std::make_shared<object::KVObject>());
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  const int old_leader = cluster.steady_leader();
+  const int submitter = (old_leader + 1) % cluster.n();
+
+  // A write is in flight when the leader dies.
+  cluster.submit(submitter, object::KVObject::put("k", "in-flight"));
+  cluster.run_for(crash_offset);
+  cluster.sim().crash(ProcessId(old_leader));
+  const RealTime crash_at = cluster.sim().now();
+
+  FailoverResult result;
+  int new_leader = -1;
+  cluster.sim().run_until(
+      [&] {
+        new_leader = cluster.steady_leader();
+        return new_leader >= 0 && new_leader != old_leader;
+      },
+      crash_at + Duration::seconds(60));
+  result.new_leader_elected = cluster.sim().now() - crash_at;
+  cluster.await_quiesce(Duration::seconds(60));
+  result.write_completed = cluster.sim().now() - crash_at;
+  // First follower read after failover.
+  const int reader = (old_leader + 2) % cluster.n();
+  cluster.submit(reader, object::KVObject::get("k"));
+  cluster.await_quiesce(Duration::seconds(60));
+  result.reads_available = cluster.sim().now() - crash_at;
+  result.consistent =
+      *cluster.history().ops().back().response == "in-flight";
+  return result;
+}
+
+// --- Static vs dynamic leader order (paper S5, VR/Raft contrast) ----------
+// Crash the current leader while its next `isolated` static successors are
+// partitioned away. VR must cycle through that many ineffective views; our
+// algorithm's Omega-based choice goes straight to a connected process.
+
+Duration ours_recovery(int isolated, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n = 9;  // majority (5) stays connected with <= 3 isolated + 1 crash
+  config.seed = seed;
+  config.delta = kDelta;
+  harness::Cluster cluster(config, std::make_shared<object::KVObject>());
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  const int old_leader = cluster.steady_leader();
+  for (int k = 1; k <= isolated; ++k) {
+    cluster.sim().network().set_process_isolated(
+        ProcessId((old_leader + k) % cluster.n()), true, cluster.n());
+  }
+  cluster.sim().crash(ProcessId(old_leader));
+  const RealTime crash_at = cluster.sim().now();
+  int new_leader = -1;
+  cluster.sim().run_until(
+      [&] {
+        new_leader = cluster.steady_leader();
+        return new_leader >= 0 && new_leader != old_leader;
+      },
+      crash_at + Duration::seconds(120));
+  return cluster.sim().now() - crash_at;
+}
+
+Duration vr_recovery(int isolated, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n = 9;
+  config.seed = seed;
+  config.delta = kDelta;
+  harness::VrCluster cluster(config, std::make_shared<object::KVObject>());
+  cluster.await_primary(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  const int old_primary = cluster.primary();
+  for (int k = 1; k <= isolated; ++k) {
+    cluster.sim().network().set_process_isolated(
+        ProcessId((old_primary + k) % cluster.n()), true, cluster.n());
+  }
+  cluster.sim().crash(ProcessId(old_primary));
+  const RealTime crash_at = cluster.sim().now();
+  cluster.sim().run_until(
+      [&] {
+        const int p = cluster.primary();
+        if (p < 0 || p == old_primary) return false;
+        // Require an *effective* primary: one that can actually commit.
+        for (int k = 1; k <= isolated; ++k) {
+          if (p == (old_primary + k) % cluster.n()) return false;
+        }
+        return true;
+      },
+      crash_at + Duration::seconds(120));
+  return cluster.sim().now() - crash_at;
+}
+
+}  // namespace
+}  // namespace cht::bench
+
+int main() {
+  using namespace cht;
+  using namespace cht::bench;
+
+  print_experiment_header(
+      "E7: leader failover with a half-done batch",
+      "Claim (paper S3): the new leader's initialization (estimate\n"
+      "collection -> batch recovery -> re-commit) deterministically resolves\n"
+      "the predecessor's in-flight batch; progress does not depend on where\n"
+      "in the protocol the crash landed. delta = 10 ms; Omega timeout = 41 ms;\n"
+      "crash offset = time between submitting the write and killing the\n"
+      "leader (sweeps the protocol phase being interrupted).");
+
+  metrics::Table table({"crash offset (ms)", "new leader (ms)",
+                        "write committed (ms)", "reads available (ms)",
+                        "in-flight write preserved"});
+  for (const std::int64_t offset_ms : {0, 3, 6, 9, 12, 15, 25}) {
+    const auto r = run(Duration::millis(offset_ms), 700 + offset_ms);
+    table.add_row({metrics::Table::num(offset_ms),
+                   ms2(r.new_leader_elected), ms2(r.write_completed),
+                   ms2(r.reads_available), r.consistent ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: all columns bounded and similar across\n"
+               "crash offsets (deterministic failover, ~Omega timeout plus a\n"
+               "few delta); the in-flight write always survives (committed\n"
+               "by recovery or by the submitter's retry, never lost or\n"
+               "duplicated).\n";
+
+  print_experiment_header(
+      "E7b: static (VR) vs dynamic (Omega) leader succession",
+      "Paper S5: \"with a static leader election scheme, if the next several\n"
+      "processes to become leaders are partitioned away from the majority,\n"
+      "the system will cycle through a succession of ineffective views\".\n"
+      "n = 9; the leader crashes while its next k static successors are\n"
+      "partitioned. Ours picks a connected leader directly.");
+
+  metrics::Table succession({"partitioned successors",
+                             "ours: recovery (ms)", "VR: recovery (ms)",
+                             "VR/ours"});
+  for (const int isolated : {0, 1, 2, 3}) {
+    const Duration ours_t = ours_recovery(isolated, 900 + isolated);
+    const Duration vr_t = vr_recovery(isolated, 900 + isolated);
+    succession.add_row(
+        {metrics::Table::num(static_cast<std::int64_t>(isolated)),
+         ms2(ours_t), ms2(vr_t),
+         metrics::Table::num(
+             static_cast<double>(vr_t.to_micros()) / ours_t.to_micros(), 2)});
+  }
+  succession.print(std::cout);
+  std::cout << "\nExpected shape: ours is flat in k (Omega only proposes\n"
+               "connected processes); VR grows by roughly one view-change\n"
+               "timeout per partitioned successor.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E1 — Read locality (paper Sections 1 & 3).
+//
+// Claim: "reads are local: the number of messages sent during the execution
+// does not depend on the number of reads performed". We fix a background RMW
+// rate, sweep the read count over three orders of magnitude, and report the
+// total messages on the wire and the marginal messages per read. For
+// contrast, the same sweep runs with ReadPolicy::kLeaderForward (Spanner
+// option (a)) and on Raft with ReadIndex reads, whose traffic grows linearly
+// with reads.
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "core/replica.h"
+#include "object/kv_object.h"
+
+namespace cht::bench {
+namespace {
+
+struct Result {
+  std::int64_t messages;
+  std::int64_t completed_reads;
+};
+
+harness::ClusterConfig base_config() {
+  harness::ClusterConfig config;
+  config.n = 5;
+  config.seed = 99;
+  config.delta = Duration::millis(10);
+  return config;
+}
+
+// Fixed experiment body: 50 writes over 5 simulated seconds, plus `reads`
+// reads spread evenly. Returns messages counted over the measured window.
+template <class ClusterT>
+Result run_window(ClusterT& cluster, int reads) {
+  const auto before = cluster.sim().network().stats().sent;
+  const int steps = 50;
+  const int reads_per_step = reads / steps;
+  for (int step = 0; step < steps; ++step) {
+    cluster.submit(step % cluster.n(),
+                   object::KVObject::put("k" + std::to_string(step % 4), "v"));
+    for (int r = 0; r < reads_per_step; ++r) {
+      cluster.submit((step + r) % cluster.n(),
+                     object::KVObject::get("k" + std::to_string(r % 4)));
+    }
+    cluster.run_for(Duration::millis(100));
+  }
+  cluster.await_quiesce(Duration::seconds(60));
+  return Result{static_cast<std::int64_t>(
+                    cluster.sim().network().stats().sent - before),
+                reads};
+}
+
+Result run_core(int reads, core::ReadPolicy policy) {
+  harness::Cluster cluster(
+      base_config(), std::make_shared<object::KVObject>(),
+      [&](core::Config& c) { c.read_policy = policy; });
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  return run_window(cluster, reads);
+}
+
+Result run_raft(int reads) {
+  harness::RaftCluster cluster(base_config(),
+                               std::make_shared<object::KVObject>());
+  cluster.await_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  return run_window(cluster, reads);
+}
+
+}  // namespace
+}  // namespace cht::bench
+
+int main() {
+  using namespace cht;
+  using namespace cht::bench;
+
+  print_experiment_header(
+      "E1: read locality — messages vs number of reads",
+      "Claim (paper S1/S3): with the paper's algorithm the number of\n"
+      "messages is independent of the number of reads (slope ~= 0 msg/read);\n"
+      "leader-forwarded reads and Raft ReadIndex reads pay messages per read.");
+
+  metrics::Table table({"reads", "ours: msgs", "ours: msg/read",
+                        "fwd: msgs", "fwd: msg/read", "raft: msgs",
+                        "raft: msg/read"});
+  std::int64_t ours_base = 0, fwd_base = 0, raft_base = 0;
+  for (int reads : {0, 100, 1000, 10000}) {
+    const auto ours = run_core(reads, core::ReadPolicy::kLocalLease);
+    const auto fwd = run_core(reads, core::ReadPolicy::kLeaderForward);
+    const auto raft = run_raft(reads);
+    if (reads == 0) {
+      ours_base = ours.messages;
+      fwd_base = fwd.messages;
+      raft_base = raft.messages;
+    }
+    auto per_read = [&](std::int64_t messages, std::int64_t baseline) {
+      if (reads == 0) return std::string("-");
+      return metrics::Table::num(
+          static_cast<double>(messages - baseline) / reads, 3);
+    };
+    table.add_row({metrics::Table::num(static_cast<std::int64_t>(reads)),
+                   metrics::Table::num(ours.messages),
+                   per_read(ours.messages, ours_base),
+                   metrics::Table::num(fwd.messages),
+                   per_read(fwd.messages, fwd_base),
+                   metrics::Table::num(raft.messages),
+                   per_read(raft.messages, raft_base)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: 'ours: msg/read' ~ 0 at every scale;\n"
+               "'fwd' and 'raft' grow by >= 2 messages per read.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro benchmarks (google-benchmark): substrate costs underlying the
+// experiment harnesses — object apply, event-queue throughput, simulated
+// cluster event rate, and linearizability checking.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "checker/linearizability.h"
+#include "harness/cluster.h"
+#include "object/kv_object.h"
+#include "object/register_object.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace cht;  // NOLINT: bench-local convenience
+
+void BM_ObjectApplyKV(benchmark::State& state) {
+  object::KVObject model;
+  auto obj = model.make_initial_state();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.apply(*obj, object::KVObject::put("k" + std::to_string(i % 64),
+                                                "v")));
+    ++i;
+  }
+}
+BENCHMARK(BM_ObjectApplyKV);
+
+void BM_EventQueueScheduleStep(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t fired = 0;
+  for (auto _ : state) {
+    queue.schedule(queue.now() + Duration::micros(1), [&fired] { ++fired; });
+    queue.step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void BM_SimulatedClusterSecond(benchmark::State& state) {
+  // Cost of simulating one second of a quiet 5-process cluster (heartbeats,
+  // supports, lease renewals).
+  for (auto _ : state) {
+    harness::ClusterConfig config;
+    config.n = static_cast<int>(state.range(0));
+    harness::Cluster cluster(config,
+                             std::make_shared<object::RegisterObject>());
+    cluster.run_for(Duration::seconds(1));
+    benchmark::DoNotOptimize(cluster.sim().network().stats().sent);
+  }
+}
+BENCHMARK(BM_SimulatedClusterSecond)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_LinearizabilityChecker(benchmark::State& state) {
+  // Sequential register history of `range` ops: checker fast path.
+  const std::int64_t ops = state.range(0);
+  object::RegisterObject model;
+  std::vector<checker::HistoryOp> history;
+  for (std::int64_t i = 0; i < ops; ++i) {
+    checker::HistoryOp op;
+    op.process = ProcessId(0);
+    const bool write = i % 2 == 0;
+    op.op = write ? object::RegisterObject::write(std::to_string(i))
+                  : object::RegisterObject::read();
+    op.invoked = RealTime::zero() + Duration::micros(10 * i);
+    op.responded = op.invoked + Duration::micros(5);
+    op.response = write ? "ok" : std::to_string(i - 1);
+    history.push_back(op);
+  }
+  for (auto _ : state) {
+    auto result = checker::check_linearizable(model, history);
+    benchmark::DoNotOptimize(result.linearizable);
+  }
+}
+BENCHMARK(BM_LinearizabilityChecker)->Arg(100)->Arg(1000);
+
+void BM_FullProtocolWriteThroughput(benchmark::State& state) {
+  // End-to-end protocol cost: committed writes per wall-second through the
+  // full stack (leader batching, majority round, lease gate) on a quiet
+  // post-GST cluster.
+  harness::ClusterConfig config;
+  config.n = 5;
+  harness::Cluster cluster(config, std::make_shared<object::RegisterObject>());
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  std::int64_t writes = 0;
+  for (auto _ : state) {
+    cluster.submit(static_cast<int>(writes % 5),
+                   object::RegisterObject::write(std::to_string(writes)));
+    cluster.await_quiesce(Duration::seconds(10));
+    ++writes;
+  }
+  state.SetItemsProcessed(writes);
+}
+BENCHMARK(BM_FullProtocolWriteThroughput);
+
+void BM_FullProtocolLocalRead(benchmark::State& state) {
+  harness::ClusterConfig config;
+  config.n = 5;
+  harness::Cluster cluster(config, std::make_shared<object::RegisterObject>());
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.submit(0, object::RegisterObject::write("v"));
+  cluster.await_quiesce(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  std::int64_t reads = 0;
+  for (auto _ : state) {
+    cluster.submit(static_cast<int>(reads % 5), object::RegisterObject::read());
+    ++reads;
+  }
+  cluster.await_quiesce(Duration::seconds(5));
+  state.SetItemsProcessed(reads);
+}
+BENCHMARK(BM_FullProtocolLocalRead);
+
+void BM_CheckerConcurrentWindow(benchmark::State& state) {
+  // Checker cost as the concurrent-window width grows: `width` fully
+  // overlapping writes followed by a read.
+  const std::int64_t width = state.range(0);
+  object::RegisterObject model("0");
+  std::vector<checker::HistoryOp> history;
+  for (std::int64_t i = 0; i < width; ++i) {
+    checker::HistoryOp op;
+    op.process = ProcessId(static_cast<int>(i % 5));
+    op.op = object::RegisterObject::write(std::to_string(i));
+    op.invoked = RealTime::zero();
+    op.responded = RealTime::zero() + Duration::millis(100);
+    op.response = "ok";
+    history.push_back(op);
+  }
+  checker::HistoryOp read;
+  read.process = ProcessId(0);
+  read.op = object::RegisterObject::read();
+  read.invoked = RealTime::zero() + Duration::millis(200);
+  read.responded = read.invoked + Duration::millis(1);
+  read.response = std::to_string(width - 1);
+  history.push_back(read);
+  for (auto _ : state) {
+    auto result = checker::check_linearizable(model, history);
+    benchmark::DoNotOptimize(result.linearizable);
+  }
+}
+BENCHMARK(BM_CheckerConcurrentWindow)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E6 — RMW commit latency: leaseholder-set memory and commit-wait (paper
+// S3 "leaseholder mechanism" + S5 Megastore/Spanner contrasts).
+//
+// Claims:
+//   (a) ours: a crashed/disconnected leaseholder delays RMW commits at most
+//       once (the lease-expiry wait), after which it is dropped from the
+//       leaseholder set and writes return to ~2*delta;
+//   (b) Megastore-style all-ack commits have no such memory: *every* write
+//       pays the invalidation wait while a process is down;
+//   (c) Spanner-style commit-wait adds the clock uncertainty epsilon to
+//       every write; ours is independent of epsilon after GST.
+#include <iostream>
+#include <memory>
+
+#include "common/bench_util.h"
+#include "object/register_object.h"
+
+namespace cht::bench {
+namespace {
+
+constexpr Duration kDelta = Duration::millis(10);
+
+harness::ClusterConfig base_config(std::uint64_t seed = 61) {
+  harness::ClusterConfig config;
+  config.n = 5;
+  config.seed = seed;
+  config.delta = kDelta;
+  return config;
+}
+
+// Sequence of per-write commit latencies around a leaseholder crash.
+std::vector<Duration> crash_timeline(core::CommitGate gate) {
+  harness::Cluster cluster(base_config(),
+                           std::make_shared<object::RegisterObject>(),
+                           [&](core::Config& c) { c.commit_gate = gate; });
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  const int leader = cluster.steady_leader();
+  const int submitter = (leader + 2) % cluster.n();
+
+  std::vector<Duration> latencies;
+  auto timed_write = [&](int i) {
+    const RealTime t0 = cluster.sim().now();
+    cluster.submit(submitter, object::RegisterObject::write(std::to_string(i)));
+    cluster.await_quiesce(Duration::seconds(60));
+    latencies.push_back(cluster.sim().now() - t0);
+  };
+  for (int i = 0; i < 3; ++i) timed_write(i);  // healthy
+  cluster.sim().crash(ProcessId((leader + 1) % cluster.n()));
+  for (int i = 3; i < 10; ++i) timed_write(i);  // after the crash
+  return latencies;
+}
+
+Duration steady_write_latency(Duration commit_wait, std::uint64_t seed) {
+  harness::Cluster cluster(
+      base_config(seed), std::make_shared<object::RegisterObject>(),
+      [&](core::Config& c) { c.commit_wait = commit_wait; });
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+  metrics::LatencyRecorder lat;
+  for (int i = 0; i < 20; ++i) {
+    const RealTime t0 = cluster.sim().now();
+    cluster.submit(1, object::RegisterObject::write(std::to_string(i)));
+    cluster.await_quiesce(Duration::seconds(30));
+    lat.record(cluster.sim().now() - t0);
+  }
+  return lat.p50();
+}
+
+}  // namespace
+}  // namespace cht::bench
+
+int main() {
+  using namespace cht;
+  using namespace cht::bench;
+
+  print_experiment_header(
+      "E6a: write latency timeline around a leaseholder crash",
+      "Claim (paper S3/S5): ours pays the lease-expiry wait exactly once\n"
+      "(write #4, the first after the crash), then drops the dead process\n"
+      "from the leaseholder set; Megastore-style all-ack commits pay the\n"
+      "wait on every write. (LeasePeriod = 12*delta = 120 ms.)");
+
+  const auto ours = crash_timeline(core::CommitGate::kLeaseholders);
+  const auto allack = crash_timeline(core::CommitGate::kAllProcesses);
+  metrics::Table timeline({"write#", "ours (ms)", "all-ack/Megastore (ms)",
+                           "note"});
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    std::string note;
+    if (i < 3) note = "healthy";
+    else if (i == 3) note = "first write after crash";
+    else note = "subsequent writes";
+    timeline.add_row({metrics::Table::num(static_cast<std::int64_t>(i + 1)),
+                      ms2(ours[i]), ms2(allack[i]), note});
+  }
+  timeline.print(std::cout);
+
+  print_experiment_header(
+      "E6b: write latency vs clock uncertainty epsilon",
+      "Claim (paper S5, Spanner): commit-wait writes pay epsilon each;\n"
+      "ours is independent of epsilon after GST.");
+
+  metrics::Table eps({"epsilon (ms)", "ours p50 (ms)",
+                      "commit-wait p50 (ms)"});
+  for (const std::int64_t e_ms : {0, 5, 10, 25, 50}) {
+    const Duration epsilon = Duration::millis(e_ms);
+    eps.add_row({metrics::Table::num(e_ms),
+                 ms2(steady_write_latency(Duration::zero(), 71)),
+                 ms2(steady_write_latency(epsilon, 71))});
+  }
+  eps.print(std::cout);
+
+  std::cout << "\nExpected shape: E6a — ours spikes only at write #4 (by\n"
+               "~LeasePeriod), all-ack spikes on every write 4..10; E6b —\n"
+               "ours flat, commit-wait grows linearly with epsilon.\n";
+  return 0;
+}

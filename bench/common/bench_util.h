@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses (bench/bench_*.cc).
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/raft_cluster.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace cht::bench {
+
+inline void print_experiment_header(const std::string& id,
+                                    const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline std::string us(Duration d) {
+  return metrics::Table::num(static_cast<std::int64_t>(d.to_micros()));
+}
+
+inline std::string ms2(Duration d) {
+  return metrics::Table::num(d.to_millis_f(), 2);
+}
+
+// Latency of completed ops recorded in a history, split by read/RMW.
+struct SplitLatencies {
+  metrics::LatencyRecorder reads;
+  metrics::LatencyRecorder rmws;
+};
+
+inline SplitLatencies split_latencies(const object::ObjectModel& model,
+                                      const checker::HistoryRecorder& history) {
+  SplitLatencies out;
+  for (const auto& op : history.ops()) {
+    if (!op.completed()) continue;
+    if (model.is_read(op.op)) {
+      out.reads.record(op.latency());
+    } else {
+      out.rmws.record(op.latency());
+    }
+  }
+  return out;
+}
+
+}  // namespace cht::bench

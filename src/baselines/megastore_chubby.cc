@@ -1,0 +1,103 @@
+#include "baselines/megastore_chubby.h"
+
+#include "common/assert.h"
+
+namespace cht::baselines {
+
+// ===========================================================================
+// ChubbyService
+// ===========================================================================
+
+void ChubbyService::on_start() {
+  session_expiry_.assign(cluster_size(), LocalTime::min());
+}
+
+bool ChubbyService::session_alive(int client) {
+  return session_expiry_.at(client) > now_local();
+}
+
+void ChubbyService::on_message(const sim::Message& message) {
+  if (message.is(chubby_msg::kKeepAlive)) {
+    session_expiry_.at(message.from.index()) =
+        now_local() + config_.session_ttl;
+    send(message.from, chubby_msg::kLeaseGrant,
+         chubby_msg::LeaseGrant{config_.session_ttl});
+  } else if (message.is(chubby_msg::kQuery)) {
+    const auto& query = message.as<chubby_msg::Query>();
+    send(message.from, chubby_msg::kQueryReply,
+         chubby_msg::QueryReply{query.subject, query.query_id,
+                                !session_alive(query.subject)});
+  } else {
+    CHT_UNREACHABLE("unknown message type for chubby service");
+  }
+}
+
+// ===========================================================================
+// MegastoreNode
+// ===========================================================================
+
+void MegastoreNode::on_start() { keepalive_tick(); }
+
+void MegastoreNode::keepalive_tick() {
+  if (keepalives_enabled_) {
+    send(chubby_, chubby_msg::kKeepAlive, chubby_msg::KeepAlive{});
+  }
+  schedule_after(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+bool MegastoreNode::has_chubby_contact() const {
+  return lease_until_ > LocalTime::min();
+}
+
+void MegastoreNode::begin_write(std::set<int> non_ackers) {
+  const std::int64_t seq = ++write_seq_;
+  PendingWrite write;
+  write.awaiting_invalidation = std::move(non_ackers);
+  pending_.emplace(seq, std::move(write));
+  if (pending_.at(seq).awaiting_invalidation.empty()) {
+    pending_.erase(seq);
+    ++writes_completed_;
+    return;
+  }
+  query_tick(seq);
+}
+
+void MegastoreNode::query_tick(std::int64_t write_seq) {
+  auto it = pending_.find(write_seq);
+  if (it == pending_.end()) return;
+  // Ask Chubby about every straggler still awaiting invalidation. If we are
+  // cut off from Chubby, these queries go nowhere — and there is no other
+  // authority to consult: the write stays blocked (the paper's point).
+  for (int subject : it->second.awaiting_invalidation) {
+    const std::int64_t qid = ++query_seq_;
+    query_to_write_[qid] = write_seq;
+    send(chubby_, chubby_msg::kQuery, chubby_msg::Query{subject, qid});
+  }
+  it->second.retry_timer = schedule_after(
+      config_.query_retry, [this, write_seq] { query_tick(write_seq); });
+}
+
+void MegastoreNode::on_message(const sim::Message& message) {
+  if (message.is(chubby_msg::kLeaseGrant)) {
+    lease_until_ = now_local() + message.as<chubby_msg::LeaseGrant>().ttl;
+  } else if (message.is(chubby_msg::kQueryReply)) {
+    const auto& reply = message.as<chubby_msg::QueryReply>();
+    auto mapped = query_to_write_.find(reply.query_id);
+    if (mapped == query_to_write_.end()) return;
+    const std::int64_t write_seq = mapped->second;
+    query_to_write_.erase(mapped);
+    if (!reply.session_expired) return;
+    auto it = pending_.find(write_seq);
+    if (it == pending_.end()) return;
+    it->second.awaiting_invalidation.erase(reply.subject);
+    if (it->second.awaiting_invalidation.empty()) {
+      it->second.retry_timer.cancel();
+      pending_.erase(it);
+      ++writes_completed_;
+    }
+  } else {
+    CHT_UNREACHABLE("unknown message type for megastore node");
+  }
+}
+
+}  // namespace cht::baselines

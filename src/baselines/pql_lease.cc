@@ -1,0 +1,111 @@
+#include "baselines/pql_lease.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace cht::baselines {
+
+void PqlProcess::on_start() {
+  guarantee_expiry_.assign(cluster_size(), RealTime::min());
+  renewal_tick();
+}
+
+void PqlProcess::renewal_tick() {
+  // Grantor role: start a renewal round with every leaseholder. PQL measures
+  // leases with elapsed-time timers, so establishing one guarantee takes two
+  // round trips per (grantor, leaseholder) pair: the first to bound the
+  // clockless skew, the second to activate the guarantee.
+  ++round_;
+  ++stats_.renewals_started;
+  broadcast(msg::kPromise, msg::Promise{round_});
+  schedule_after(config_.renewal_interval, [this] { renewal_tick(); });
+}
+
+bool PqlProcess::lease_active() {
+  const RealTime now = now_real();
+  if (now < revoke_quiet_until_) return false;
+  int active = 1;  // self-granted guarantee is trivially fresh
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i == id().index()) continue;
+    if (guarantee_expiry_[i] > now) ++active;
+  }
+  return active > cluster_size() / 2;
+}
+
+void PqlProcess::begin_write() {
+  // The writing quorum revokes all outstanding leases; the write completes
+  // when every leaseholder acknowledged the revocation or its lease expired.
+  ++write_seq_;
+  PendingWrite write;
+  write.seq = write_seq_;
+  write.acked.assign(cluster_size(), false);
+  write.acked[id().index()] = true;
+  const std::int64_t seq = write.seq;
+  write.expiry_timer =
+      schedule_after(config_.lease_duration + config_.guard, [this, seq] {
+        for (auto& w : pending_writes_) {
+          if (w.seq == seq) {
+            std::fill(w.acked.begin(), w.acked.end(), true);
+          }
+        }
+        maybe_finish_write();
+      });
+  pending_writes_.push_back(std::move(write));
+  broadcast(msg::kRevoke, msg::Revoke{write_seq_});
+  maybe_finish_write();
+}
+
+void PqlProcess::maybe_finish_write() {
+  for (auto it = pending_writes_.begin(); it != pending_writes_.end();) {
+    const bool done =
+        std::all_of(it->acked.begin(), it->acked.end(), [](bool b) { return b; });
+    if (done) {
+      it->expiry_timer.cancel();
+      ++writes_completed_;
+      it = pending_writes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PqlProcess::on_message(const sim::Message& message) {
+  if (message.is(msg::kPromise)) {
+    send(message.from, msg::kPromiseAck,
+         msg::PromiseAck{message.as<msg::Promise>().round});
+  } else if (message.is(msg::kPromiseAck)) {
+    // Round trip one done: activate the guarantee with a second round trip.
+    send(message.from, msg::kGuarantee,
+         msg::Guarantee{message.as<msg::PromiseAck>().round});
+  } else if (message.is(msg::kGuarantee)) {
+    ++stats_.guarantees_received;
+    if (now_real() >= revoke_quiet_until_) {
+      guarantee_expiry_[message.from.index()] =
+          now_real() + config_.lease_duration;
+    }
+    send(message.from, msg::kGuaranteeAck,
+         msg::GuaranteeAck{message.as<msg::Guarantee>().round});
+  } else if (message.is(msg::kGuaranteeAck)) {
+    // Grantor bookkeeping only.
+  } else if (message.is(msg::kRevoke)) {
+    ++stats_.revocations_received;
+    // Drop every guarantee and ignore in-flight ones: reads stop being
+    // local until the next full renewal completes.
+    guarantee_expiry_.assign(cluster_size(), RealTime::min());
+    revoke_quiet_until_ = now_real() + config_.revoke_quiet;
+    send(message.from, msg::kRevokeAck,
+         msg::RevokeAck{message.as<msg::Revoke>().write_seq});
+  } else if (message.is(msg::kRevokeAck)) {
+    for (auto& write : pending_writes_) {
+      if (write.seq == message.as<msg::RevokeAck>().write_seq) {
+        write.acked[message.from.index()] = true;
+      }
+    }
+    maybe_finish_write();
+  } else {
+    CHT_UNREACHABLE("unknown message type for pql process");
+  }
+}
+
+}  // namespace cht::baselines

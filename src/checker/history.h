@@ -1,0 +1,65 @@
+// Operation histories for linearizability checking.
+//
+// A history is a set of operation records with real-time invocation and
+// response instants. Records of operations that never completed (pending at
+// the end of a run) have no response; the checker may linearize them with
+// any effect or drop them entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "object/object.h"
+
+namespace cht::checker {
+
+struct HistoryOp {
+  ProcessId process;
+  object::Operation op;
+  RealTime invoked;
+  std::optional<RealTime> responded;  // nullopt => pending at end of run
+  std::optional<object::Response> response;
+
+  bool completed() const { return responded.has_value(); }
+  Duration latency() const {
+    return completed() ? *responded - invoked : Duration::max();
+  }
+};
+
+// Collects operation records from client callbacks. Each begin() returns a
+// token; complete it with the response when the operation's callback fires.
+class HistoryRecorder {
+ public:
+  using Token = std::size_t;
+
+  Token begin(ProcessId process, object::Operation op, RealTime now) {
+    ops_.push_back(HistoryOp{process, std::move(op), now, std::nullopt,
+                             std::nullopt});
+    return ops_.size() - 1;
+  }
+
+  void end(Token token, object::Response response, RealTime now) {
+    ops_.at(token).responded = now;
+    ops_.at(token).response = std::move(response);
+  }
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  std::vector<HistoryOp>& mutable_ops() { return ops_; }
+
+  std::size_t completed_count() const {
+    std::size_t n = 0;
+    for (const auto& op : ops_) {
+      if (op.completed()) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<HistoryOp> ops_;
+};
+
+}  // namespace cht::checker

@@ -1,0 +1,198 @@
+#include "checker/linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cht::checker {
+namespace {
+
+class Search {
+ public:
+  Search(const object::ObjectModel& model, std::vector<HistoryOp> history)
+      : model_(model), history_(std::move(history)) {
+    std::stable_sort(history_.begin(), history_.end(),
+                     [](const HistoryOp& a, const HistoryOp& b) {
+                       return a.invoked < b.invoked;
+                     });
+    linearized_.assign(history_.size(), false);
+    completed_remaining_ = 0;
+    for (const auto& op : history_) {
+      if (op.completed()) ++completed_remaining_;
+    }
+    completed_total_ = completed_remaining_;
+    stuck_example_ = history_.size();
+  }
+
+  LinearizabilityResult run() {
+    LinearizabilityResult result;
+    auto state = model_.make_initial_state();
+    if (dfs(*state, 0)) {
+      result.linearizable = true;
+      result.order = order_;
+    } else {
+      result.linearizable = false;
+      std::ostringstream os;
+      os << "no linearization; deepest progress " << best_progress_ << "/"
+         << completed_total_ << " completed ops";
+      if (stuck_example_ < history_.size()) {
+        const HistoryOp& op = history_[stuck_example_];
+        os << "; first unplaceable: " << op.process << " " << op.op
+           << " -> " << (op.response ? *op.response : std::string("<pending>"))
+           << " invoked@" << op.invoked.to_micros() << "us";
+      }
+      result.explanation = os.str();
+    }
+    return result;
+  }
+
+ private:
+  // Encodes (linearized-beyond-base set, object state) for memoization.
+  std::string memo_key(const object::ObjectState& state,
+                       std::size_t base) const {
+    std::string key = std::to_string(base);
+    key += '|';
+    for (std::size_t i = base; i < history_.size(); ++i) {
+      if (linearized_[i]) {
+        key += std::to_string(i);
+        key += ',';
+      }
+      // Operations far beyond any linearized index cannot have been touched.
+      if (!linearized_[i] && i > last_linearized_ && i > base) break;
+    }
+    key += '|';
+    key += state.fingerprint();
+    return key;
+  }
+
+  bool dfs(object::ObjectState& state, std::size_t base) {
+    while (base < history_.size() && linearized_[base]) ++base;
+    if (completed_remaining_ == 0) return true;  // all completed ops placed
+
+    if (completed_total_ - completed_remaining_ > best_progress_) {
+      best_progress_ = completed_total_ - completed_remaining_;
+      stuck_example_ = history_.size();
+    }
+
+    if (!memo_.insert(memo_key(state, base)).second) return false;
+
+    // The earliest response among non-linearized ops bounds which op may be
+    // linearized next: anything invoked after that response must come later.
+    RealTime min_response = RealTime::max();
+    for (std::size_t i = base; i < history_.size(); ++i) {
+      if (linearized_[i]) continue;
+      if (history_[i].completed()) {
+        min_response = std::min(min_response, *history_[i].responded);
+      }
+      // Ops invoked after min_response cannot tighten it further in a way
+      // that matters for candidacy; stop once invocations pass it.
+      if (history_[i].invoked > min_response) break;
+    }
+
+    // Try completed candidates before pending ones: pending operations
+    // (typically writes whose submitter crashed) most often never took
+    // effect, and exploring their speculative insertions first makes the
+    // search exponential in their number. Completed-first finds witnesses
+    // of linearizable histories quickly; completeness is unaffected (both
+    // passes together cover every candidate).
+    for (const bool pending_pass : {false, true}) {
+      for (std::size_t i = base; i < history_.size(); ++i) {
+        if (linearized_[i]) continue;
+        if (history_[i].invoked > min_response) break;  // sorted by invocation
+        const HistoryOp& op = history_[i];
+        if (op.completed() == pending_pass) continue;
+
+        auto next_state = state.clone();
+        const object::Response got = model_.apply(*next_state, op.op);
+        if (op.completed() && got != *op.response) {
+          if (stuck_example_ == history_.size()) stuck_example_ = i;
+          continue;  // response mismatch: cannot take effect here
+        }
+
+        linearized_[i] = true;
+        const std::size_t saved_last = last_linearized_;
+        last_linearized_ = std::max(last_linearized_, i);
+        if (op.completed()) --completed_remaining_;
+        order_.push_back(i);
+
+        if (dfs(*next_state, base)) return true;
+
+        order_.pop_back();
+        if (op.completed()) ++completed_remaining_;
+        last_linearized_ = saved_last;
+        linearized_[i] = false;
+      }
+    }
+    return false;
+  }
+
+  const object::ObjectModel& model_;
+  std::vector<HistoryOp> history_;
+  std::vector<bool> linearized_;
+  std::size_t completed_remaining_ = 0;
+  std::size_t completed_total_ = 0;
+  std::size_t last_linearized_ = 0;
+  std::vector<std::size_t> order_;
+  std::unordered_set<std::string> memo_;
+  std::size_t best_progress_ = 0;
+  std::size_t stuck_example_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const object::ObjectModel& model,
+                                         std::vector<HistoryOp> history) {
+  // Locality (Herlihy & Wing): if every operation touches exactly one
+  // sub-object, the history is linearizable iff each sub-object's
+  // sub-history is. Partitioning collapses the search space dramatically
+  // for multi-key workloads.
+  bool partitionable = !history.empty();
+  for (const auto& op : history) {
+    if (model.partition_label(op.op).empty()) {
+      partitionable = false;
+      break;
+    }
+  }
+  if (partitionable) {
+    std::map<std::string, std::vector<HistoryOp>> groups;
+    for (auto& op : history) {
+      groups[model.partition_label(op.op)].push_back(std::move(op));
+    }
+    if (groups.size() > 1) {
+      LinearizabilityResult combined;
+      combined.linearizable = true;
+      for (auto& [label, group] : groups) {
+        Search search(model, std::move(group));
+        LinearizabilityResult result = search.run();
+        if (!result.linearizable) {
+          result.explanation = "sub-object '" + label + "': " +
+                               result.explanation;
+          return result;
+        }
+        // Note: per-group orders are not merged into a global order; callers
+        // needing `order` should check unpartitioned histories.
+      }
+      return combined;
+    }
+    // Single group: fall through to the plain search (preserves `order`).
+    history.clear();
+    for (auto& [label, group] : groups) history = std::move(group);
+  }
+  Search search(model, std::move(history));
+  return search.run();
+}
+
+LinearizabilityResult check_rmw_subhistory_linearizable(
+    const object::ObjectModel& model, const std::vector<HistoryOp>& history) {
+  std::vector<HistoryOp> rmw_only;
+  for (const auto& op : history) {
+    if (!model.is_read(op.op)) rmw_only.push_back(op);
+  }
+  return check_linearizable(model, std::move(rmw_only));
+}
+
+}  // namespace cht::checker

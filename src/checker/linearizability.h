@@ -1,0 +1,41 @@
+// Linearizability checker (Wing & Gong search with memoized pruning).
+//
+// Decides whether a history has a linearization: a total order of its
+// operations, consistent with real-time precedence (op A before op B if A's
+// response precedes B's invocation), such that running the operations in
+// that order through the object model reproduces every completed operation's
+// response. Pending operations (no response) may take effect at any point
+// after their invocation, or never.
+//
+// The search linearizes operations in invocation order with a bounded
+// "out-of-order window" of concurrently open operations, memoizing visited
+// (frontier, state) configurations. With the bounded concurrency of our
+// workloads this is fast for histories of tens of thousands of operations;
+// it is exponential in the worst case (the problem is NP-complete).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+#include "object/object.h"
+
+namespace cht::checker {
+
+struct LinearizabilityResult {
+  bool linearizable = false;
+  // On success: indices into the input history in linearization order
+  // (pending operations that never took effect are omitted).
+  std::vector<std::size_t> order;
+  std::string explanation;  // on failure, a short diagnostic
+};
+
+LinearizabilityResult check_linearizable(const object::ObjectModel& model,
+                                         std::vector<HistoryOp> history);
+
+// Checks only the RMW sub-history (the paper's robustness claim under clock
+// desynchronization: the execution *excluding reads* remains linearizable).
+LinearizabilityResult check_rmw_subhistory_linearizable(
+    const object::ObjectModel& model, const std::vector<HistoryOp>& history);
+
+}  // namespace cht::checker

@@ -1,0 +1,31 @@
+// Always-on invariant checks.
+//
+// These checks guard protocol invariants (I1-I3, EL1, ...) whose violation
+// means a bug in the implementation, not a recoverable condition; we abort
+// with a message rather than throw so the failing simulation state is
+// preserved for a debugger.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cht::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* msg,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "CHT_ASSERT failed: %s (%s) at %s:%d\n", expr, msg,
+               file, line);
+  std::abort();
+}
+
+}  // namespace cht::detail
+
+#define CHT_ASSERT(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::cht::detail::assert_fail(#expr, (msg), __FILE__, __LINE__);   \
+    }                                                                 \
+  } while (false)
+
+#define CHT_UNREACHABLE(msg) \
+  ::cht::detail::assert_fail("unreachable", (msg), __FILE__, __LINE__)

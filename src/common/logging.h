@@ -1,0 +1,62 @@
+// Minimal leveled logging, off by default.
+//
+// The simulator is single-threaded, so no synchronization is needed. Logging
+// is controlled by a global level so tests and benches stay quiet unless a
+// failing scenario is being debugged (set CHT_LOG_LEVEL=debug in the
+// environment or call set_log_level).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace cht {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) {
+    stream_ << "[" << name(level) << "][" << tag << "] ";
+  }
+  ~LogLine() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  static constexpr std::string_view name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cht
+
+#define CHT_LOG(level, tag)                       \
+  if (::cht::log_level() > (level)) {             \
+  } else                                          \
+    ::cht::detail::LogLine((level), (tag))
+
+#define CHT_DEBUG(tag) CHT_LOG(::cht::LogLevel::kDebug, (tag))
+#define CHT_INFO(tag) CHT_LOG(::cht::LogLevel::kInfo, (tag))
+#define CHT_WARN(tag) CHT_LOG(::cht::LogLevel::kWarn, (tag))
+#define CHT_ERROR(tag) CHT_LOG(::cht::LogLevel::kError, (tag))

@@ -1,0 +1,130 @@
+// Strong time types for the partially synchronous model.
+//
+// The paper distinguishes *real time* (the global simulation timeline) from
+// *local time* (the value of a process's clock, synchronized within epsilon
+// of other clocks). Mixing the two is the classic bug in lease-based
+// protocols, so we make them distinct vocabulary types. Durations are shared
+// (a span of local time and a span of real time have the same unit).
+//
+// All times are int64 microseconds.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace cht {
+
+// A span of time, in microseconds. Valid for both timelines.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) {
+    return Duration(ms * 1000);
+  }
+  static constexpr Duration seconds(std::int64_t s) {
+    return Duration(s * 1'000'000);
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_millis_f() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double to_seconds_f() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.us_ / k);
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.us_ << "us";
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+namespace detail {
+
+// CRTP base providing point-in-time arithmetic against Duration.
+template <class Derived>
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr Derived micros(std::int64_t us) { return Derived(us); }
+  static constexpr Derived zero() { return Derived(0); }
+  static constexpr Derived max() {
+    return Derived(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr Derived min() {
+    return Derived(std::numeric_limits<std::int64_t>::min());
+  }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_millis_f() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double to_seconds_f() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr Derived operator+(Derived a, Duration d) {
+    return Derived(a.us_ + d.to_micros());
+  }
+  friend constexpr Derived operator+(Duration d, Derived a) {
+    return Derived(a.us_ + d.to_micros());
+  }
+  friend constexpr Derived operator-(Derived a, Duration d) {
+    return Derived(a.us_ - d.to_micros());
+  }
+  friend constexpr Duration operator-(Derived a, Derived b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ protected:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace detail
+
+// A point on the global (simulation) timeline.
+class RealTime : public detail::TimePoint<RealTime> {
+ public:
+  constexpr RealTime() = default;
+  constexpr explicit RealTime(std::int64_t us) : TimePoint(us) {}
+  friend std::ostream& operator<<(std::ostream& os, RealTime t) {
+    return os << "r" << t.to_micros() << "us";
+  }
+};
+
+// A point as read off some process's local clock.
+class LocalTime : public detail::TimePoint<LocalTime> {
+ public:
+  constexpr LocalTime() = default;
+  constexpr explicit LocalTime(std::int64_t us) : TimePoint(us) {}
+  friend std::ostream& operator<<(std::ostream& os, LocalTime t) {
+    return os << "l" << t.to_micros() << "us";
+  }
+};
+
+}  // namespace cht

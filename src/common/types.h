@@ -1,0 +1,58 @@
+// Core identifier types shared across all modules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace cht {
+
+// Identifies one of the n replica processes. Dense in [0, n).
+class ProcessId {
+ public:
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(int index) : index_(index) {}
+  constexpr int index() const { return index_; }
+  constexpr bool valid() const { return index_ >= 0; }
+  static constexpr ProcessId invalid() { return ProcessId(); }
+
+  constexpr auto operator<=>(const ProcessId&) const = default;
+  friend std::ostream& operator<<(std::ostream& os, ProcessId p) {
+    return os << "p" << p.index_;
+  }
+
+ private:
+  int index_ = -1;
+};
+
+// Unique identifier of a client-issued operation: (issuing process, counter).
+struct OperationId {
+  ProcessId process;
+  std::int64_t seq = 0;
+
+  constexpr auto operator<=>(const OperationId&) const = default;
+  friend std::ostream& operator<<(std::ostream& os, const OperationId& id) {
+    return os << id.process << "#" << id.seq;
+  }
+};
+
+// 1-based sequence number of a committed batch; 0 means "before any batch".
+using BatchNumber = std::int64_t;
+
+}  // namespace cht
+
+template <>
+struct std::hash<cht::ProcessId> {
+  std::size_t operator()(cht::ProcessId p) const noexcept {
+    return std::hash<int>{}(p.index());
+  }
+};
+
+template <>
+struct std::hash<cht::OperationId> {
+  std::size_t operator()(const cht::OperationId& id) const noexcept {
+    return std::hash<int>{}(id.process.index()) * 1000003u ^
+           std::hash<std::int64_t>{}(id.seq);
+  }
+};

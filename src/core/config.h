@@ -1,0 +1,113 @@
+// Tunables of the replication algorithm.
+//
+// All protocol timing is expressed in terms of the model parameters:
+// delta (the known post-GST bound on message delay, measured on local
+// clocks) and epsilon (the known bound on clock skew). The defaults follow
+// the relationships the paper's analysis needs:
+//   - LeasePeriod >> delta so leases are usually valid;
+//   - lease renewals more frequent than LeasePeriod so a stable leader's
+//     leases never lapse at connected processes;
+//   - retry/resend intervals of a few delta to ride out pre-GST loss.
+#pragma once
+
+#include "common/time.h"
+#include "leader/enhanced_leader.h"
+#include "leader/omega.h"
+
+namespace cht::core {
+
+// Which processes must acknowledge a Prepare (beyond the majority) before the
+// leader may commit without waiting out lease expiry. These knobs isolate the
+// mechanisms the paper contrasts in Section 5; the defaults are the paper's
+// algorithm.
+enum class CommitGate {
+  // Paper: wait for the tracked leaseholder set (or lease expiry, once);
+  // unresponsive processes are dropped from the set and delay RMWs at most
+  // once.
+  kLeaseholders,
+  // Megastore-style: every process must acknowledge every write (or be
+  // waited out each time); there is no leaseholder-set memory, so a crashed
+  // process delays *every* subsequent write until it is invalidated again.
+  kAllProcesses,
+  // Plain state-machine replication (VR/Raft-style): commit on majority acks
+  // alone. Unsafe to combine with local lease reads; pair it with
+  // ReadPolicy::kLeaderForward.
+  kMajorityOnly,
+};
+
+enum class ReadPolicy {
+  // Paper: local reads against a lease, blocking only on *conflicting*
+  // pending batches.
+  kLocalLease,
+  // Spanner option (a) / Raft without leases: forward every read to the
+  // leader (non-local; concentrates load).
+  kLeaderForward,
+  // Paxos-Quorum-Leases-style conflict-blindness: a read waits for every
+  // pending batch, whether or not it conflicts.
+  kAnyPendingBlocks,
+  // Spanner option (b): stamp the read with the current local time and wait
+  // until the replica's safe time passes it (we use the leader's periodic
+  // LeaseGrant timestamps as the safe-time watermark, which bounds the wait
+  // by the renewal interval; pure Spanner waits for the next write and can
+  // block unboundedly). Every read blocks, even with no writes in flight.
+  kSafeTime,
+  // DELIBERATELY UNSAFE: answer every read immediately from the local
+  // applied state, with no lease and no blocking. Exists only to demonstrate
+  // the necessity-of-blocking lower bound (paper Section 4): with this
+  // policy the checker finds the linearizability violation that Theorem 4.1
+  // predicts for any algorithm whose reads are "too fast".
+  kUnsafeLocal,
+};
+
+struct Config {
+  Duration delta = Duration::millis(10);
+  Duration epsilon = Duration::millis(1);
+
+  CommitGate commit_gate = CommitGate::kLeaseholders;
+  ReadPolicy read_policy = ReadPolicy::kLocalLease;
+  // Spanner-style commit wait: after the gate, the leader additionally waits
+  // out this much clock uncertainty before committing each batch (zero for
+  // the paper's algorithm, whose commit latency is independent of epsilon
+  // after GST).
+  Duration commit_wait = Duration::zero();
+
+  Duration lease_period;            // read-lease validity
+  Duration lease_renew_interval;    // leader renewal cadence
+  Duration leader_check_interval;   // thread-2 "am I leader?" poll cadence
+  Duration steady_tick;             // leader steady-state loop cadence
+  Duration estreq_resend;           // EstReq resend while collecting
+  Duration prepare_resend;          // Prepare resend while awaiting acks
+  Duration rmw_retry;               // client re-submit of a pending RMW
+  Duration anti_entropy_interval;   // gap-fill poll (not read-triggered)
+  Duration commit_rebroadcast;      // lazy rebroadcast of last commit
+
+  leader::OmegaConfig omega;
+  leader::EnhancedLeaderConfig els;
+
+  static Config defaults_for(Duration delta, Duration epsilon) {
+    Config c;
+    c.delta = delta;
+    c.epsilon = epsilon;
+    c.lease_period = 12 * delta;
+    c.lease_renew_interval = 3 * delta;
+    c.leader_check_interval = delta / 2;
+    c.steady_tick = delta / 4;
+    c.estreq_resend = 2 * delta;
+    c.prepare_resend = 2 * delta;
+    c.rmw_retry = 4 * delta;
+    c.anti_entropy_interval = 2 * delta;
+    c.commit_rebroadcast = 8 * delta;
+    c.omega.heartbeat_interval = delta;
+    c.omega.timeout = 4 * delta + epsilon;
+    c.els.support_interval = delta;
+    c.els.support_duration = 8 * delta;
+    c.els.history_horizon = 100 * delta;
+    return c;
+  }
+
+  static Config defaults() {
+    return defaults_for(Duration::millis(10), Duration::millis(1));
+  }
+};
+
+}  // namespace cht::core

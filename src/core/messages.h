@@ -1,0 +1,137 @@
+// Wire types of the replication algorithm.
+//
+// Following the paper's presentation, messages split into the consensus
+// mechanism for RMW operations ("black code": EstReq/EstReply, Prepare/
+// PrepareAck, Commit, RmwRequest, BatchRequest/BatchReply) and the read-
+// lease mechanism ("red code": LeaseGrant, LeaseRequest). The read path
+// itself sends no messages at all (reads are local).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "object/object.h"
+
+namespace cht::core {
+
+// One client operation inside a batch.
+struct BatchOp {
+  OperationId id;
+  object::Operation op;
+  auto operator<=>(const BatchOp&) const = default;
+};
+
+// A batch is the set O of RMW operations committed together. Canonical form:
+// sorted by operation id, no duplicates — the "pre-determined order, the
+// same for all processes" in which batch operations are applied.
+using Batch = std::vector<BatchOp>;
+
+inline void canonicalize(Batch& batch) {
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+}
+
+// A process's estimate: the freshest batch it has been notified of (not
+// necessarily committed). Freshness order is lexicographic on (ts, k);
+// `ts` is the local time at which the notifying leader became leader,
+// unique across reigns by property EL1.
+struct Estimate {
+  Batch ops;
+  LocalTime ts;
+  BatchNumber k = 0;
+
+  std::pair<LocalTime, BatchNumber> freshness() const { return {ts, k}; }
+};
+
+// A read lease: a promise by the leader that no batch numbered beyond
+// `batch` will be committed before local time `issued + LeasePeriod` at the
+// holder, unless the holder has been notified (Prepared) of it.
+struct Lease {
+  BatchNumber batch = 0;
+  LocalTime issued;
+};
+
+// --- Message payloads -------------------------------------------------------
+
+namespace msg {
+
+inline constexpr const char* kRmwRequest = "core.rmw";
+inline constexpr const char* kEstReq = "core.estreq";
+inline constexpr const char* kEstReply = "core.estreply";
+inline constexpr const char* kPrepare = "core.prepare";
+inline constexpr const char* kPrepareAck = "core.prepareack";
+inline constexpr const char* kCommit = "core.commit";
+inline constexpr const char* kLeaseGrant = "core.leasegrant";
+inline constexpr const char* kLeaseRequest = "core.leaserequest";
+inline constexpr const char* kBatchRequest = "core.batchrequest";
+inline constexpr const char* kBatchReply = "core.batchreply";
+// Only used by ReadPolicy::kLeaderForward (baseline): the paper's algorithm
+// never sends messages for reads.
+inline constexpr const char* kReadRequest = "core.readrequest";
+inline constexpr const char* kReadReply = "core.readreply";
+
+struct RmwRequest {
+  OperationId id;
+  object::Operation op;
+};
+
+struct EstReq {
+  LocalTime leader_time;  // when the sender became leader
+};
+
+struct EstReply {
+  LocalTime leader_time;               // echoed from the request
+  std::optional<Estimate> estimate;    // responder's estimate, if any
+  std::optional<Batch> prev_batch;     // responder's Batch[estimate.k - 1]
+};
+
+struct Prepare {
+  Batch ops;              // the batch O being proposed
+  LocalTime leader_time;  // t: when the proposing leader became leader
+  BatchNumber number;     // j
+  Batch prev_batch;       // Batch[j-1] (committed), empty for j == 1
+};
+
+struct PrepareAck {
+  LocalTime leader_time;
+  BatchNumber number;
+};
+
+struct Commit {
+  Batch ops;
+  BatchNumber number;
+};
+
+struct LeaseGrant {
+  BatchNumber batch;            // latest committed batch number
+  LocalTime issued;             // leader's local time of issue
+  std::set<int> leaseholders;   // current leaseholder set (process indices)
+};
+
+struct LeaseRequest {};
+
+struct BatchRequest {
+  BatchNumber number;
+};
+
+struct BatchReply {
+  BatchNumber number;
+  Batch ops;
+};
+
+struct ReadRequest {
+  OperationId id;
+  object::Operation op;
+};
+
+struct ReadReply {
+  OperationId id;
+  object::Response response;
+};
+
+}  // namespace msg
+}  // namespace cht::core

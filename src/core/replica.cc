@@ -1,0 +1,777 @@
+#include "core/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace cht::core {
+
+namespace {
+constexpr const char* kTag = "replica";
+}
+
+Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
+                 Config config)
+    : model_(std::move(model)),
+      config_(config),
+      omega_(*this, config_.omega),
+      els_(*this, [this] { return omega_.leader(); }, config_.els) {}
+
+void Replica::on_start() {
+  state_ = model_->make_initial_state();
+  omega_.start();
+  els_.start();
+  leader_check_tick();
+  anti_entropy_tick();
+}
+
+// ===========================================================================
+// Client API (Thread 1)
+// ===========================================================================
+
+void Replica::submit_rmw(object::Operation op, Callback callback) {
+  CHT_ASSERT(!model_->is_read(op), "submit_rmw called with a read operation");
+  ++stats_.rmws_submitted;
+  const OperationId id{this->id(), ++rmw_seq_};
+  auto [it, inserted] =
+      pending_rmw_.try_emplace(id, PendingRmw{std::move(op), std::move(callback),
+                                              sim::EventHandle()});
+  CHT_ASSERT(inserted, "duplicate RMW id");
+  (void)it;
+  rmw_send(id);
+}
+
+void Replica::rmw_send(const OperationId& id) {
+  auto it = pending_rmw_.find(id);
+  if (it == pending_rmw_.end()) return;  // already completed
+  const ProcessId leader = els_.believed_leader();
+  const msg::RmwRequest request{id, it->second.op};
+  if (leader == this->id()) {
+    on_rmw_request(this->id(), request);
+  } else {
+    send(leader, msg::kRmwRequest, request);
+  }
+  // Re-send periodically: rides out pre-GST message loss and changes in the
+  // leader belief (paper lines 2-5).
+  it->second.retry_timer =
+      schedule_after(config_.rmw_retry, [this, id] { rmw_send(id); });
+}
+
+void Replica::complete_rmw(const OperationId& id,
+                           const object::Response& response) {
+  auto node = pending_rmw_.extract(id);
+  if (node.empty()) return;
+  node.mapped().retry_timer.cancel();
+  ++stats_.rmws_completed;
+  if (node.mapped().callback) node.mapped().callback(response);
+}
+
+void Replica::submit_read(object::Operation op, Callback callback) {
+  CHT_ASSERT(model_->is_read(op), "submit_read called with a RMW operation");
+  ++stats_.reads_submitted;
+  if (config_.read_policy == ReadPolicy::kLeaderForward) {
+    // Baseline: every read travels to the leader and back (never local,
+    // always blocking).
+    ++stats_.reads_blocked;
+    const OperationId id{this->id(), ++read_seq_};
+    forwarded_reads_.try_emplace(
+        id, ForwardedRead{std::move(op), std::move(callback), now_real(),
+                          sim::EventHandle()});
+    forward_read_send(id);
+    return;
+  }
+  pending_reads_.push_back(
+      PendingRead{std::move(op), std::move(callback), std::nullopt, now_real(),
+                  std::nullopt, false});
+  auto it = std::prev(pending_reads_.end());
+  if (try_advance_read(*it)) {
+    pending_reads_.erase(it);  // non-blocking read: completed synchronously
+  } else {
+    it->counted_blocked = true;
+    ++stats_.reads_blocked;
+  }
+}
+
+bool Replica::batch_conflicts_with(const object::Operation& read,
+                                   const Batch& batch) const {
+  return std::any_of(batch.begin(), batch.end(), [&](const BatchOp& b) {
+    return !model_->is_read(b.op) && model_->conflicts(read, b.op);
+  });
+}
+
+// Paper lines 7-19. Returns true iff the read completed.
+bool Replica::try_advance_read(PendingRead& read) {
+  if (config_.read_policy == ReadPolicy::kUnsafeLocal) {
+    read.khat = 0;  // no waiting whatsoever; see config.h for why this exists
+  }
+  if (config_.read_policy == ReadPolicy::kSafeTime && !read.khat.has_value()) {
+    // Spanner option (b): read at timestamp `stamp`; serve once the safe
+    // time (the newest LeaseGrant's issue time, acting as a safe-time
+    // beacon) passes the stamp and the corresponding prefix is applied.
+    if (!read.stamp.has_value()) read.stamp = now_local();
+    if (phase_ == Phase::kSteady && els_.am_leader(leader_time_, now_local())) {
+      read.khat = leader_next_batch_ - 1;  // the leader's time is safe time
+    } else if (lease_.has_value() &&
+               lease_->issued > *read.stamp + config_.epsilon) {
+      // The beacon's issue time is on the leader's clock and the stamp on
+      // ours; the +epsilon guard ensures the beacon was really issued after
+      // the read's invocation, so its batch covers every completed write.
+      read.khat = lease_->batch;
+    } else {
+      return false;  // wait for the next safe-time beacon
+    }
+  }
+  if (!read.khat.has_value()) {
+    if (phase_ == Phase::kSteady &&
+        els_.am_leader(leader_time_, now_local())) {
+      // Leader path: the leader is the only committer, so no batch beyond its
+      // own last commit can be committed without its knowledge; its reads
+      // linearize right after that batch with no pending-batch scan.
+      read.khat = leader_next_batch_ - 1;
+    } else if (lease_.has_value() &&
+               now_local() < lease_->issued + config_.lease_period) {
+      // Valid lease (k, ts): linearize after k, unless a *pending* batch
+      // beyond k conflicts with the read, in which case after the largest
+      // such batch (line 15).
+      BatchNumber khat = lease_->batch;
+      const bool conflict_blind =
+          config_.read_policy == ReadPolicy::kAnyPendingBlocks;
+      for (const auto& [j, ops] : pending_batch_) {
+        if (j > lease_->batch && j > khat &&
+            (conflict_blind || batch_conflicts_with(read.op, ops))) {
+          khat = j;
+        }
+      }
+      read.khat = khat;
+    } else {
+      return false;  // wait for a (renewed) lease
+    }
+  }
+  if (applied_upto_ < *read.khat) return false;  // wait for batches <= k-hat
+  const object::Response response = model_->apply(*state_, read.op);
+  ++stats_.reads_completed;
+  if (read.counted_blocked) {
+    const Duration blocked = now_real() - read.invoked;
+    stats_.max_read_block = std::max(stats_.max_read_block, blocked);
+    stats_.total_read_block = stats_.total_read_block + blocked;
+  }
+  if (read.callback) read.callback(response);
+  return true;
+}
+
+void Replica::try_advance_reads() {
+  for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
+    it = try_advance_read(*it) ? pending_reads_.erase(it) : std::next(it);
+  }
+}
+
+// ===========================================================================
+// Thread 2: leadership
+// ===========================================================================
+
+void Replica::leader_check_tick() {
+  if (phase_ == Phase::kFollower) {
+    const LocalTime t = now_local();
+    if (els_.am_leader(t, t)) become_leader(t);
+  }
+  leader_check_timer_ = schedule_after(config_.leader_check_interval,
+                                       [this] { leader_check_tick(); });
+}
+
+bool Replica::is_steady_leader() {
+  return phase_ == Phase::kSteady && els_.am_leader(leader_time_, now_local());
+}
+
+void Replica::become_leader(LocalTime t) {
+  CHT_DEBUG(kTag) << id() << " becomes leader at " << t;
+  trace_event("leader.become", "t=" + std::to_string(t.to_micros()));
+  ++stats_.became_leader;
+  phase_ = Phase::kCollecting;
+  leader_time_ = t;
+  est_replies_.clear();
+  chosen_.reset();
+  next_ops_.clear();
+  doops_.reset();
+  // Line 25: initially consider every other process a potential leaseholder.
+  leaseholders_.clear();
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i != id().index()) leaseholders_.insert(i);
+  }
+  last_lease_issued_ = LocalTime::min();
+  // Our own estimate counts toward the majority (lines 26-30).
+  est_replies_[id().index()] = msg::EstReply{leader_time_, estimate_, {}};
+  send_est_reqs();
+  maybe_finish_collecting();
+}
+
+void Replica::abdicate() {
+  CHT_DEBUG(kTag) << id() << " abdicates (reign " << leader_time_ << ")";
+  trace_event("leader.abdicate");
+  ++stats_.abdicated;
+  phase_ = Phase::kFollower;
+  estreq_timer_.cancel();
+  fetch_timer_.cancel();
+  steady_timer_.cancel();
+  if (doops_.has_value()) {
+    doops_->resend_timer.cancel();
+    doops_->gate_timer.cancel();
+    doops_->expiry_timer.cancel();
+    doops_.reset();
+  }
+  est_replies_.clear();
+  chosen_.reset();
+  next_ops_.clear();  // submitters keep retrying toward the new leader
+}
+
+bool Replica::check_still_leader() {
+  if (els_.am_leader(leader_time_, now_local())) return true;
+  abdicate();
+  return false;
+}
+
+// --- Initialization: collect estimates (lines 26-31) ----------------------
+
+void Replica::send_est_reqs() {
+  if (phase_ != Phase::kCollecting) return;
+  if (!check_still_leader()) return;
+  broadcast(msg::kEstReq, msg::EstReq{leader_time_});
+  estreq_timer_ =
+      schedule_after(config_.estreq_resend, [this] { send_est_reqs(); });
+}
+
+void Replica::on_est_reply(ProcessId from, const msg::EstReply& reply) {
+  if (phase_ != Phase::kCollecting || reply.leader_time != leader_time_) return;
+  // I2 in transit: the responder's Batch[k-1] rides along with its estimate.
+  if (reply.estimate.has_value() && reply.estimate->k >= 2 &&
+      reply.prev_batch.has_value()) {
+    store_batch(reply.estimate->k - 1, *reply.prev_batch);
+  }
+  est_replies_[from.index()] = reply;
+  maybe_finish_collecting();
+}
+
+void Replica::maybe_finish_collecting() {
+  if (phase_ != Phase::kCollecting) return;
+  if (static_cast<int>(est_replies_.size()) < majority()) return;
+  estreq_timer_.cancel();
+  // Select the freshest estimate (line 31).
+  for (const auto& [index, reply] : est_replies_) {
+    if (!reply.estimate.has_value()) continue;
+    if (!chosen_.has_value() ||
+        chosen_->freshness() < reply.estimate->freshness()) {
+      chosen_ = reply.estimate;
+    }
+  }
+  phase_ = Phase::kFetching;
+  fetch_tick();
+}
+
+// --- Initialization: FindMissingBatches(k*-2) (line 33) -------------------
+
+void Replica::fetch_tick() {
+  if (phase_ != Phase::kFetching) return;
+  if (!check_still_leader()) return;
+  maybe_finish_fetching();
+  if (phase_ != Phase::kFetching) return;
+  // I3 guarantees each batch < k* is held by a majority, hence by at least
+  // one correct peer.
+  const BatchNumber upto = chosen_.has_value() ? chosen_->k - 1 : 0;
+  for (BatchNumber j = 1; j <= upto; ++j) {
+    if (!batches_.contains(j)) {
+      broadcast(msg::kBatchRequest, msg::BatchRequest{j});
+    }
+  }
+  fetch_timer_ =
+      schedule_after(config_.anti_entropy_interval, [this] { fetch_tick(); });
+}
+
+void Replica::maybe_finish_fetching() {
+  if (phase_ != Phase::kFetching) return;
+  const BatchNumber upto = chosen_.has_value() ? chosen_->k - 1 : 0;
+  for (BatchNumber j = 1; j <= upto; ++j) {
+    if (!batches_.contains(j)) return;
+  }
+  fetch_timer_.cancel();
+  // ExecuteUpToBatch(k*-1), picking up from the current applied state
+  // (line 34).
+  apply_ready();
+  CHT_ASSERT(applied_upto_ >= upto, "leader catch-up failed to apply");
+  begin_initial_commit();
+}
+
+void Replica::begin_initial_commit() {
+  if (chosen_.has_value()) {
+    phase_ = Phase::kInitDoOps;
+    leader_next_batch_ = chosen_->k;  // will advance on commit
+    start_doops(chosen_->ops, chosen_->k, /*initial=*/true);
+  } else {
+    // No process in our majority was ever notified of any batch: nothing to
+    // recover; the NoOp below forms batch 1.
+    leader_next_batch_ = 1;
+    enter_steady();
+  }
+}
+
+// --- DoOps (lines 52-70) ---------------------------------------------------
+
+void Replica::start_doops(Batch ops, BatchNumber number, bool initial) {
+  canonicalize(ops);
+  CHT_ASSERT(!ops.empty(), "DoOps with empty batch");
+  // Line 52: if we answered an EstReq from a leader later than ourselves, we
+  // must not try to commit; abdicate.
+  if (promised_ > leader_time_) {
+    abdicate();
+    return;
+  }
+  doops_.emplace();
+  doops_->ops = ops;
+  doops_->number = number;
+  doops_->initial = initial;
+  doops_->ackers.insert(id().index());
+  doops_->prepare_started = now_local();
+  // Line 53: adopt (O, t, j) as our own estimate.
+  adopt_estimate(std::move(ops), leader_time_, number);
+  send_prepares();
+  maybe_reach_majority();  // n == 1: our own ack already is a majority
+}
+
+void Replica::maybe_reach_majority() {
+  if (!doops_.has_value() || doops_->majority_reached ||
+      static_cast<int>(doops_->ackers.size()) < majority()) {
+    return;
+  }
+  doops_->majority_reached = true;
+  doops_->resend_timer.cancel();
+  // Condition (ii) of the leaseholder gate: 2*delta since Prepares started
+  // (the worst-case round trip after stabilization).
+  doops_->gate_timer =
+      schedule_at_local(doops_->prepare_started + 2 * config_.delta,
+                        [this] { check_leaseholder_gate(); });
+  check_leaseholder_gate();
+}
+
+void Replica::send_prepares() {
+  if (!doops_.has_value() || doops_->majority_reached) return;
+  if (!check_still_leader()) return;
+  // B = Batch[j-1]: committed by construction (initialization recovered it;
+  // steady-state committed it one step earlier). Receivers store it, which
+  // preserves I2 when they adopt (O, t, j).
+  Batch prev;
+  if (doops_->number >= 2) {
+    auto it = batches_.find(doops_->number - 1);
+    CHT_ASSERT(it != batches_.end(), "preparing j without committed j-1");
+    prev = it->second;
+  }
+  broadcast(msg::kPrepare,
+            msg::Prepare{doops_->ops, leader_time_, doops_->number, prev});
+  doops_->resend_timer =
+      schedule_after(config_.prepare_resend, [this] { send_prepares(); });
+}
+
+void Replica::on_prepare_ack(ProcessId from, const msg::PrepareAck& ack) {
+  if (!doops_.has_value() || ack.leader_time != leader_time_ ||
+      ack.number != doops_->number) {
+    return;
+  }
+  doops_->ackers.insert(from.index());
+  maybe_reach_majority();
+  check_leaseholder_gate();
+}
+
+void Replica::check_leaseholder_gate() {
+  if (!doops_.has_value() || !doops_->majority_reached ||
+      doops_->waiting_expiry) {
+    return;
+  }
+  if (config_.commit_gate == CommitGate::kMajorityOnly) {
+    // Plain SMR baseline: majority suffices (no lease safety for readers).
+    doops_->gate_timer.cancel();
+    finish_doops();
+    return;
+  }
+  // kAllProcesses (Megastore-style) requires every process to ack each
+  // write; with kLeaseholders (the paper) only the tracked set must.
+  const bool all_leaseholders_acked =
+      config_.commit_gate == CommitGate::kAllProcesses
+          ? static_cast<int>(doops_->ackers.size()) == cluster_size()
+          : std::all_of(leaseholders_.begin(), leaseholders_.end(),
+                        [&](int lh) { return doops_->ackers.contains(lh); });
+  if (all_leaseholders_acked) {
+    // Condition (i): every process potentially holding a valid lease has
+    // been notified of batch j; committing now cannot make any read stale.
+    doops_->gate_timer.cancel();
+    finish_doops();
+    return;
+  }
+  if (now_local() >= doops_->prepare_started + 2 * config_.delta) {
+    // Condition (ii) fired with a leaseholder missing: delay the commit
+    // until every lease we or a predecessor issued has expired, even on
+    // clocks running epsilon slow (lines 60-61).
+    doops_->waiting_expiry = true;
+    const LocalTime base = std::max(leader_time_, last_lease_issued_);
+    const LocalTime safe = base + config_.lease_period + config_.epsilon +
+                           Duration::micros(1);
+    doops_->expiry_timer =
+        schedule_at_local(safe, [this] { finish_doops(); });
+  }
+}
+
+void Replica::finish_doops() {
+  if (!doops_.has_value()) return;
+  if (config_.commit_wait > Duration::zero() && !doops_->commit_waited) {
+    // Spanner-style commit wait: sit out the clock uncertainty before the
+    // commit becomes visible. The paper's algorithm never does this.
+    doops_->commit_waited = true;
+    schedule_after(config_.commit_wait, [this] { finish_doops(); });
+    return;
+  }
+  if (config_.commit_gate == CommitGate::kLeaseholders) {
+    // Line 62: processes that did not acknowledge in time cease being
+    // leaseholders (they rejoin via LeaseRequest). The Megastore-style gate
+    // deliberately has no such memory.
+    leaseholders_ = doops_->ackers;
+    leaseholders_.erase(id().index());
+  }
+  // Lines 63-64: we must have been the leader continuously from t to now;
+  // otherwise another leader may have taken over and committed differently.
+  if (!check_still_leader()) return;
+
+  const BatchNumber number = doops_->number;
+  const Batch ops = std::move(doops_->ops);
+  const bool initial = doops_->initial;
+  doops_->gate_timer.cancel();
+  doops_->expiry_timer.cancel();
+  doops_.reset();
+
+  // Lines 65-70: commit.
+  store_batch(number, ops);
+  pending_batch_.erase(number);
+  apply_ready();
+  leader_next_batch_ = number + 1;
+  broadcast(msg::kCommit, msg::Commit{ops, number});
+  last_commit_rebroadcast_ = now_real();
+  ++stats_.batches_committed_as_leader;
+  trace_event("batch.commit", "j=" + std::to_string(number) + " ops=" +
+                                  std::to_string(ops.size()));
+  CHT_DEBUG(kTag) << id() << " committed batch " << number << " ("
+                  << ops.size() << " ops)";
+
+  if (initial) {
+    enter_steady();
+    // Line 37: one NoOp RMW guarantees read liveness even if clients stop
+    // submitting RMW operations (it commits a batch beyond every batch that
+    // can be pending anywhere).
+    submit_rmw(object::no_op(), Callback());
+  } else {
+    maybe_start_next_batch();
+  }
+}
+
+// --- Steady state (lines 39-51) --------------------------------------------
+
+void Replica::enter_steady() {
+  phase_ = Phase::kSteady;
+  if (!chosen_.has_value()) {
+    // First-ever leader: still announce read leases and liveness NoOp.
+    submit_rmw(object::no_op(), Callback());
+  }
+  steady_tick();
+}
+
+void Replica::steady_tick() {
+  if (phase_ != Phase::kSteady) return;
+  const LocalTime t2 = now_local();
+  if (promised_ > leader_time_ || !els_.am_leader(leader_time_, t2)) {
+    abdicate();
+    return;
+  }
+  // Renew leases only between DoOps calls, exactly as the paper's
+  // sequential leader loop does (lines 39-51). Renewing *during* a commit
+  // would be unsound: the leaseholder gate computes the lease-expiry wait
+  // from the last lease issued when the wait begins; a renewal issued
+  // mid-wait could hand an unresponsive process a fresh lease that outlives
+  // the wait and lets it read a stale state.
+  if (!doops_.has_value()) issue_leases(t2);
+  maybe_start_next_batch();
+  // Lazy rebroadcast of the last committed batch guards against Commit loss
+  // (line 51).
+  if (leader_next_batch_ >= 2 &&
+      now_real() - last_commit_rebroadcast_ >= config_.commit_rebroadcast) {
+    const BatchNumber last = leader_next_batch_ - 1;
+    auto it = batches_.find(last);
+    if (it != batches_.end()) {
+      broadcast(msg::kCommit, msg::Commit{it->second, last});
+      last_commit_rebroadcast_ = now_real();
+    }
+  }
+  steady_timer_ =
+      schedule_after(config_.steady_tick, [this] { steady_tick(); });
+}
+
+void Replica::issue_leases(LocalTime now) {
+  if (last_lease_issued_ != LocalTime::min() &&
+      now - last_lease_issued_ < config_.lease_renew_interval) {
+    return;
+  }
+  last_lease_issued_ = now;
+  trace_event("lease.grant",
+              "k=" + std::to_string(leader_next_batch_ - 1) + " holders=" +
+                  std::to_string(leaseholders_.size()));
+  broadcast(msg::kLeaseGrant,
+            msg::LeaseGrant{leader_next_batch_ - 1, now, leaseholders_});
+}
+
+void Replica::maybe_start_next_batch() {
+  if (phase_ != Phase::kSteady || doops_.has_value() || next_ops_.empty()) {
+    return;
+  }
+  // The paper's loop renews leases (line 44) before each DoOps (line 49);
+  // under a continuous write stream this is where renewals happen. It is
+  // safe exactly here: the grant precedes this batch's Prepares, so the
+  // leaseholder gate's expiry computation accounts for it.
+  issue_leases(now_local());
+  Batch ops;
+  for (auto& [id, op] : next_ops_) {
+    if (!committed_op_batch_.contains(id)) ops.push_back(BatchOp{id, op});
+  }
+  next_ops_.clear();
+  if (ops.empty()) return;
+  start_doops(std::move(ops), leader_next_batch_, /*initial=*/false);
+}
+
+// ===========================================================================
+// Thread 3: message handling
+// ===========================================================================
+
+void Replica::on_message(const sim::Message& message) {
+  if (omega_.handle_message(message)) return;
+  if (els_.handle_message(message)) return;
+
+  if (message.is(msg::kRmwRequest)) {
+    on_rmw_request(message.from, message.as<msg::RmwRequest>());
+  } else if (message.is(msg::kEstReq)) {
+    on_est_req(message.from, message.as<msg::EstReq>());
+  } else if (message.is(msg::kEstReply)) {
+    on_est_reply(message.from, message.as<msg::EstReply>());
+  } else if (message.is(msg::kPrepare)) {
+    on_prepare(message.from, message.as<msg::Prepare>());
+  } else if (message.is(msg::kPrepareAck)) {
+    on_prepare_ack(message.from, message.as<msg::PrepareAck>());
+  } else if (message.is(msg::kCommit)) {
+    on_commit(message.as<msg::Commit>());
+  } else if (message.is(msg::kLeaseGrant)) {
+    on_lease_grant(message.from, message.as<msg::LeaseGrant>());
+  } else if (message.is(msg::kLeaseRequest)) {
+    // Reintegration (line 46): the process asks to hold leases again.
+    if (phase_ == Phase::kSteady) leaseholders_.insert(message.from.index());
+  } else if (message.is(msg::kReadRequest)) {
+    on_read_request(message.from, message.as<msg::ReadRequest>());
+  } else if (message.is(msg::kReadReply)) {
+    on_read_reply(message.as<msg::ReadReply>());
+  } else if (message.is(msg::kBatchRequest)) {
+    on_batch_request(message.from, message.as<msg::BatchRequest>());
+  } else if (message.is(msg::kBatchReply)) {
+    const auto& reply = message.as<msg::BatchReply>();
+    store_batch(reply.number, reply.ops);
+    apply_ready();
+    if (phase_ == Phase::kFetching) maybe_finish_fetching();
+  } else {
+    CHT_UNREACHABLE("unknown message type for core replica");
+  }
+}
+
+void Replica::on_rmw_request(ProcessId from, const msg::RmwRequest& request) {
+  auto committed = committed_op_batch_.find(request.id);
+  if (committed != committed_op_batch_.end()) {
+    // Already committed: the submitter evidently missed the Commit; resend
+    // that batch directly so it can respond to its client.
+    if (from != id()) {
+      auto it = batches_.find(committed->second);
+      CHT_ASSERT(it != batches_.end(), "committed map points at missing batch");
+      send(from, msg::kCommit, msg::Commit{it->second, committed->second});
+    }
+    return;
+  }
+  if (phase_ == Phase::kFollower) return;  // submitter retries elsewhere
+  next_ops_.try_emplace(request.id, request.op);
+  maybe_start_next_batch();
+}
+
+void Replica::forward_read_send(const OperationId& id) {
+  auto it = forwarded_reads_.find(id);
+  if (it == forwarded_reads_.end()) return;
+  const ProcessId leader = els_.believed_leader();
+  const msg::ReadRequest request{id, it->second.op};
+  if (leader == this->id()) {
+    on_read_request(this->id(), request);
+    if (!forwarded_reads_.contains(id)) return;  // answered synchronously
+  } else {
+    send(leader, msg::kReadRequest, request);
+  }
+  it->second.retry_timer =
+      schedule_after(config_.rmw_retry, [this, id] { forward_read_send(id); });
+}
+
+void Replica::on_read_request(ProcessId from, const msg::ReadRequest& request) {
+  // Serve only as a verified steady leader: the leader's applied state
+  // reflects every committed batch, so evaluating there is linearizable.
+  if (!is_steady_leader() || applied_upto_ < leader_next_batch_ - 1) return;
+  const object::Response response = model_->apply(*state_, request.op);
+  if (from == id()) {
+    on_read_reply(msg::ReadReply{request.id, response});
+  } else {
+    send(from, msg::kReadReply, msg::ReadReply{request.id, response});
+  }
+}
+
+void Replica::on_read_reply(const msg::ReadReply& reply) {
+  auto node = forwarded_reads_.extract(reply.id);
+  if (node.empty()) return;
+  node.mapped().retry_timer.cancel();
+  ++stats_.reads_completed;
+  const Duration blocked = now_real() - node.mapped().invoked;
+  stats_.max_read_block = std::max(stats_.max_read_block, blocked);
+  stats_.total_read_block = stats_.total_read_block + blocked;
+  if (node.mapped().callback) node.mapped().callback(reply.response);
+}
+
+void Replica::on_est_req(ProcessId from, const msg::EstReq& request) {
+  if (request.leader_time < promised_) return;  // stale leader
+  promised_ = request.leader_time;
+  msg::EstReply reply{request.leader_time, estimate_, std::nullopt};
+  if (estimate_.has_value() && estimate_->k >= 2) {
+    auto it = batches_.find(estimate_->k - 1);
+    // I2: we only adopt (O, t, j) when we know batch j-1.
+    CHT_ASSERT(it != batches_.end(), "I2 violated: estimate without prev batch");
+    reply.prev_batch = it->second;
+  }
+  send(from, msg::kEstReply, reply);
+}
+
+void Replica::adopt_estimate(Batch ops, LocalTime t, BatchNumber j) {
+  CHT_ASSERT(j <= 1 || batches_.contains(j - 1),
+             "I2 violated: adopting estimate without previous batch");
+  pending_batch_[j] = ops;
+  estimate_ = Estimate{std::move(ops), t, j};
+}
+
+void Replica::on_prepare(ProcessId from, const msg::Prepare& prepare) {
+  // Store B into Batch[j-1] unconditionally: it is committed information.
+  if (prepare.number >= 2) {
+    store_batch(prepare.number - 1, prepare.prev_batch);
+    apply_ready();
+  }
+  const std::pair<LocalTime, BatchNumber> freshness{prepare.leader_time,
+                                                    prepare.number};
+  const bool fresh =
+      !estimate_.has_value() || estimate_->freshness() <= freshness;
+  if (prepare.leader_time >= promised_ && fresh) {
+    promised_ = prepare.leader_time;
+    adopt_estimate(prepare.ops, prepare.leader_time, prepare.number);
+    send(from, msg::kPrepareAck,
+         msg::PrepareAck{prepare.leader_time, prepare.number});
+  }
+}
+
+void Replica::on_commit(const msg::Commit& commit) {
+  store_batch(commit.number, commit.ops);
+  pending_batch_.erase(commit.number);
+  apply_ready();
+  // Commit-path gap fill (paper line ~105): fetch any missing earlier batch.
+  if (applied_upto_ < commit.number) request_missing_batches();
+}
+
+void Replica::on_lease_grant(ProcessId from, const msg::LeaseGrant& grant) {
+  if (!grant.leaseholders.contains(id().index())) {
+    // We were dropped from the leaseholder set (we missed a Prepare round);
+    // ask to be reintegrated (lines 45-46 / 102-104).
+    send(from, msg::kLeaseRequest, msg::LeaseRequest{});
+    return;
+  }
+  if (!lease_.has_value() || lease_->issued < grant.issued) {
+    lease_ = Lease{grant.batch, grant.issued};
+  }
+  max_known_batch_ = std::max(max_known_batch_, grant.batch);
+  try_advance_reads();
+}
+
+void Replica::on_batch_request(ProcessId from,
+                               const msg::BatchRequest& request) {
+  auto it = batches_.find(request.number);
+  if (it == batches_.end()) return;
+  send(from, msg::kBatchReply, msg::BatchReply{request.number, it->second});
+}
+
+// ===========================================================================
+// Shared machinery
+// ===========================================================================
+
+void Replica::store_batch(BatchNumber number, const Batch& ops) {
+  CHT_ASSERT(number >= 1, "batch numbers start at 1");
+  auto it = batches_.find(number);
+  if (it != batches_.end()) {
+    // I1: once assigned, a batch's value is stable and agreed upon.
+    CHT_ASSERT(it->second == ops, "I1 violated: conflicting batch contents");
+    return;
+  }
+  for (const BatchOp& op : ops) {
+    auto [entry, inserted] = committed_op_batch_.try_emplace(op.id, number);
+    // I1: no operation is included in two different batches.
+    CHT_ASSERT(inserted || entry->second == number,
+               "I1 violated: operation in two batches");
+  }
+  batches_.emplace(number, ops);
+  max_known_batch_ = std::max(max_known_batch_, number);
+}
+
+void Replica::apply_ready() {
+  bool advanced = false;
+  while (true) {
+    auto it = batches_.find(applied_upto_ + 1);
+    if (it == batches_.end()) break;
+    // Operations within a batch are applied in canonical id order -- the
+    // same pre-determined order at every process.
+    for (const BatchOp& op : it->second) {
+      const object::Response response = model_->apply(*state_, op.op);
+      if (op.id.process == id()) complete_rmw(op.id, response);
+    }
+    ++applied_upto_;
+    pending_batch_.erase(applied_upto_);
+    advanced = true;
+  }
+  if (advanced) try_advance_reads();
+}
+
+BatchNumber Replica::fetch_target() const {
+  BatchNumber target = max_known_batch_;
+  if (lease_.has_value()) target = std::max(target, lease_->batch);
+  for (const PendingRead& read : pending_reads_) {
+    if (read.khat.has_value()) target = std::max(target, *read.khat);
+  }
+  return target;
+}
+
+void Replica::request_missing_batches() {
+  const BatchNumber target = fetch_target();
+  int outstanding = 0;
+  for (BatchNumber j = applied_upto_ + 1; j <= target && outstanding < 64;
+       ++j) {
+    if (!batches_.contains(j)) {
+      broadcast(msg::kBatchRequest, msg::BatchRequest{j});
+      ++outstanding;
+    }
+  }
+}
+
+void Replica::anti_entropy_tick() {
+  // Fixed-rate gap filling keeps reads message-free: a read waiting on
+  // batches <= k-hat is served by this timer (and by commit-path triggers),
+  // whose frequency does not depend on the number of reads.
+  if (applied_upto_ < fetch_target()) request_missing_batches();
+  anti_entropy_timer_ = schedule_after(config_.anti_entropy_interval,
+                                       [this] { anti_entropy_tick(); });
+}
+
+}  // namespace cht::core

@@ -1,0 +1,233 @@
+// The replication algorithm of Section 3.
+//
+// Each Replica is one of the paper's n processes. The paper structures a
+// process as three parallel threads; in this event-driven runtime they map
+// to:
+//   Thread 1 (client operations)  -> submit_rmw / submit_read + retry timers
+//   Thread 2 (leader loop)        -> leader_check/steady timers driving a
+//                                    state machine (Collecting -> Fetching ->
+//                                    initial DoOps -> Steady, DoOps nested)
+//   Thread 3 (message handling)   -> on_message dispatch
+//
+// Black code (consensus for RMW operations): EstReq/EstReply, Prepare/
+// PrepareAck, Commit, batch fetch. Red code (read leases): LeaseGrant,
+// LeaseRequest, and the local read path. Reads never send messages; batch
+// gap-filling runs on a fixed-rate anti-entropy timer plus commit-path
+// triggers, so the message count is independent of the number of reads.
+//
+// Read correctness note (why answering from the *current* applied state is
+// right): a read computes k-hat from its lease and the conflicting pending
+// batches, then waits until the replica has applied at least k-hat. The
+// replica may by then have applied batches beyond k-hat; any such batch was
+// either non-conflicting (cannot change the read's value) or was committed,
+// which — by the lease promise — required this process's Prepare ack or an
+// expired lease; in the acked case the batch was pending here when the read
+// computed k-hat, so k-hat already covers it, and in the applied case the
+// state correctly reflects a batch whose RMWs may already have responded,
+// which linearizability *requires* the read to observe.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "leader/enhanced_leader.h"
+#include "leader/omega.h"
+#include "object/object.h"
+#include "sim/process.h"
+
+namespace cht::core {
+
+class Replica : public sim::Process {
+ public:
+  using Callback = std::function<void(const object::Response&)>;
+
+  Replica(std::shared_ptr<const object::ObjectModel> model, Config config);
+
+  // --- Client API (paper Thread 1). Callbacks fire exactly once, possibly
+  // synchronously (a non-blocking read completes inside submit_read).
+  void submit_rmw(object::Operation op, Callback callback);
+  void submit_read(object::Operation op, Callback callback);
+
+  // --- sim::Process ---------------------------------------------------------
+  void on_start() override;
+  void on_message(const sim::Message& message) override;
+
+  // --- Introspection (tests, invariant checkers, benches) -------------------
+  struct Stats {
+    std::int64_t rmws_submitted = 0;
+    std::int64_t rmws_completed = 0;
+    std::int64_t reads_submitted = 0;
+    std::int64_t reads_completed = 0;
+    std::int64_t reads_blocked = 0;  // did not complete inside submit_read
+    Duration max_read_block = Duration::zero();
+    Duration total_read_block = Duration::zero();
+    std::int64_t batches_committed_as_leader = 0;
+    std::int64_t became_leader = 0;
+    std::int64_t abdicated = 0;
+  };
+
+  enum class Phase { kFollower, kCollecting, kFetching, kInitDoOps, kSteady };
+
+  const Stats& stats() const { return stats_; }
+  Phase phase() const { return phase_; }
+  bool is_steady_leader();  // steady phase and AmLeader still holds
+  BatchNumber applied_upto() const { return applied_upto_; }
+  BatchNumber max_known_batch() const { return max_known_batch_; }
+  const std::map<BatchNumber, Batch>& batches() const { return batches_; }
+  const std::optional<Estimate>& estimate() const { return estimate_; }
+  const std::optional<Lease>& lease() const { return lease_; }
+  const std::set<int>& leaseholders() const { return leaseholders_; }
+  const object::ObjectState& applied_state() const { return *state_; }
+  const object::ObjectModel& model() const { return *model_; }
+  std::size_t pending_read_count() const { return pending_reads_.size(); }
+  std::size_t pending_rmw_count() const { return pending_rmw_.size(); }
+  leader::EnhancedLeaderService& leader_service() { return els_; }
+  const Config& config() const { return config_; }
+
+ private:
+  // --- Leader state machine -------------------------------------------------
+  struct DoOpsState {
+    Batch ops;
+    BatchNumber number = 0;
+    std::set<int> ackers;
+    LocalTime prepare_started;
+    bool majority_reached = false;
+    bool waiting_expiry = false;
+    bool commit_waited = false;  // Spanner-style commit_wait performed
+    bool initial = false;
+    sim::EventHandle resend_timer;
+    sim::EventHandle gate_timer;
+    sim::EventHandle expiry_timer;
+  };
+
+  struct PendingRmw {
+    object::Operation op;
+    Callback callback;
+    sim::EventHandle retry_timer;
+  };
+
+  struct PendingRead {
+    object::Operation op;
+    Callback callback;
+    std::optional<BatchNumber> khat;
+    RealTime invoked;
+    std::optional<LocalTime> stamp;  // ReadPolicy::kSafeTime timestamp
+    bool counted_blocked = false;
+  };
+
+  // Thread-2 driving.
+  void leader_check_tick();
+  void become_leader(LocalTime t);
+  void abdicate();
+  bool check_still_leader();  // AmLeader(leader_time_, now); abdicates if not
+
+  // Leader initialization (lines 26-36).
+  void send_est_reqs();
+  void on_est_reply(ProcessId from, const msg::EstReply& reply);
+  void maybe_finish_collecting();
+  void fetch_tick();
+  void maybe_finish_fetching();
+  void begin_initial_commit();
+
+  // DoOps (lines 52-70).
+  void start_doops(Batch ops, BatchNumber number, bool initial);
+  void send_prepares();
+  void on_prepare_ack(ProcessId from, const msg::PrepareAck& ack);
+  void maybe_reach_majority();
+  void check_leaseholder_gate();
+  void finish_doops();
+
+  // Steady-state leader loop (lines 39-51).
+  void enter_steady();
+  void steady_tick();
+  void issue_leases(LocalTime now);
+  void maybe_start_next_batch();
+
+  // Message handling (thread 3 + parts of thread 2).
+  void on_rmw_request(ProcessId from, const msg::RmwRequest& request);
+  void forward_read_send(const OperationId& id);
+  void on_read_request(ProcessId from, const msg::ReadRequest& request);
+  void on_read_reply(const msg::ReadReply& reply);
+  void on_est_req(ProcessId from, const msg::EstReq& request);
+  void on_prepare(ProcessId from, const msg::Prepare& prepare);
+  void on_commit(const msg::Commit& commit);
+  void on_lease_grant(ProcessId from, const msg::LeaseGrant& grant);
+  void on_batch_request(ProcessId from, const msg::BatchRequest& request);
+
+  // Shared machinery.
+  void adopt_estimate(Batch ops, LocalTime t, BatchNumber j);
+  void store_batch(BatchNumber number, const Batch& ops);
+  void apply_ready();
+  void complete_rmw(const OperationId& id, const object::Response& response);
+  void rmw_send(const OperationId& id);
+  void anti_entropy_tick();
+  void request_missing_batches();
+  BatchNumber fetch_target() const;
+  void try_advance_reads();
+  bool try_advance_read(PendingRead& read);
+  bool batch_conflicts_with(const object::Operation& read,
+                            const Batch& batch) const;
+  int majority() const { return cluster_size() / 2 + 1; }
+
+  // --- Immutable wiring ---
+  std::shared_ptr<const object::ObjectModel> model_;
+  Config config_;
+  leader::OmegaDetector omega_;
+  leader::EnhancedLeaderService els_;
+
+  // --- Persistent per-process algorithm state (all three threads) ---
+  std::map<BatchNumber, Batch> batches_;                    // Batch[]
+  std::optional<Estimate> estimate_;                        // (Ops, ts, k)
+  std::map<BatchNumber, Batch> pending_batch_;              // PendingBatch[]
+  LocalTime promised_ = LocalTime::min();  // highest EstReq/Prepare engaged
+  BatchNumber applied_upto_ = 0;
+  BatchNumber max_known_batch_ = 0;
+  std::unique_ptr<object::ObjectState> state_;
+  std::unordered_map<OperationId, BatchNumber> committed_op_batch_;
+  std::optional<Lease> lease_;
+
+  // --- Client-side state (thread 1) ---
+  std::int64_t rmw_seq_ = 0;
+  std::map<OperationId, PendingRmw> pending_rmw_;
+  std::list<PendingRead> pending_reads_;
+  // ReadPolicy::kLeaderForward only: reads awaiting a leader reply.
+  struct ForwardedRead {
+    object::Operation op;
+    Callback callback;
+    RealTime invoked;
+    sim::EventHandle retry_timer;
+  };
+  std::int64_t read_seq_ = 0;
+  std::map<OperationId, ForwardedRead> forwarded_reads_;
+
+  // --- Leader-side state (thread 2), reset on each reign ---
+  Phase phase_ = Phase::kFollower;
+  LocalTime leader_time_;                    // t: when this reign began
+  std::map<int, msg::EstReply> est_replies_;
+  std::optional<Estimate> chosen_;           // freshest collected estimate
+  std::set<int> leaseholders_;
+  LocalTime last_lease_issued_ = LocalTime::min();
+  BatchNumber leader_next_batch_ = 1;
+  std::map<OperationId, object::Operation> next_ops_;
+  std::optional<DoOpsState> doops_;
+  sim::EventHandle leader_check_timer_;
+  sim::EventHandle estreq_timer_;
+  sim::EventHandle fetch_timer_;
+  sim::EventHandle steady_timer_;
+  sim::EventHandle anti_entropy_timer_;
+  RealTime last_commit_rebroadcast_ = RealTime::zero();
+
+  Stats stats_;
+};
+
+}  // namespace cht::core

@@ -1,0 +1,55 @@
+#include "harness/cluster.h"
+
+namespace cht::harness {
+
+Cluster::Cluster(ClusterConfig config,
+                 std::shared_ptr<const object::ObjectModel> model,
+                 std::function<void(core::Config&)> tweak)
+    : config_(config),
+      model_(std::move(model)),
+      core_config_(core::Config::defaults_for(config.delta, config.epsilon)),
+      sim_(config.to_sim_config()) {
+  if (tweak) tweak(core_config_);
+  for (int i = 0; i < config_.n; ++i) {
+    sim_.add_process(std::make_unique<core::Replica>(model_, core_config_));
+  }
+  sim_.start();
+}
+
+void Cluster::submit(int i, object::Operation op,
+                     core::Replica::Callback user_callback) {
+  core::Replica& target = replica(i);
+  const auto token =
+      history_.begin(ProcessId(i), op, sim_.now());
+  ++submitted_;
+  auto callback = [this, token, user_callback = std::move(user_callback)](
+                      const object::Response& response) {
+    history_.end(token, response, sim_.now());
+    ++completed_;
+    if (user_callback) user_callback(response);
+  };
+  if (model_->is_read(op)) {
+    target.submit_read(std::move(op), std::move(callback));
+  } else {
+    target.submit_rmw(std::move(op), std::move(callback));
+  }
+}
+
+bool Cluster::await_quiesce(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return completed_ == submitted_; }, deadline);
+}
+
+int Cluster::steady_leader() {
+  for (int i = 0; i < config_.n; ++i) {
+    if (!replica(i).crashed() && replica(i).is_steady_leader()) return i;
+  }
+  return -1;
+}
+
+bool Cluster::await_steady_leader(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return steady_leader() >= 0; }, deadline);
+}
+
+}  // namespace cht::harness

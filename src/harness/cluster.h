@@ -1,0 +1,90 @@
+// Test/benchmark harness: builds a cluster of core::Replica processes on the
+// simulator, drives client operations, and records a real-time history for
+// the linearizability checker.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "core/config.h"
+#include "core/replica.h"
+#include "object/object.h"
+#include "sim/simulation.h"
+
+namespace cht::harness {
+
+struct ClusterConfig {
+  int n = 5;
+  std::uint64_t seed = 1;
+  Duration delta = Duration::millis(10);
+  Duration epsilon = Duration::millis(1);
+  // Real time at which the system stabilizes (0 = synchronous from start).
+  RealTime gst = RealTime::zero();
+  double pre_gst_loss = 0.05;
+  Duration pre_gst_delay_max = Duration::millis(200);
+
+  sim::SimulationConfig to_sim_config() const {
+    sim::SimulationConfig sc;
+    sc.seed = seed;
+    sc.epsilon = epsilon;
+    sc.network.gst = gst;
+    sc.network.delta = delta;
+    sc.network.delta_min = Duration::micros(
+        std::max<std::int64_t>(1, delta.to_micros() / 20));
+    sc.network.pre_gst_loss_probability = pre_gst_loss;
+    sc.network.pre_gst_delay_max = pre_gst_delay_max;
+    return sc;
+  }
+};
+
+class Cluster {
+ public:
+  // `tweak` may adjust the derived core::Config (read policy, commit gate,
+  // commit wait) before the replicas are constructed.
+  Cluster(ClusterConfig config,
+          std::shared_ptr<const object::ObjectModel> model,
+          std::function<void(core::Config&)> tweak = nullptr);
+
+  sim::Simulation& sim() { return sim_; }
+  int n() const { return config_.n; }
+  core::Replica& replica(int i) {
+    return sim_.process_as<core::Replica>(ProcessId(i));
+  }
+  const object::ObjectModel& model() const { return *model_; }
+  checker::HistoryRecorder& history() { return history_; }
+  const ClusterConfig& config() const { return config_; }
+  const core::Config& core_config() const { return core_config_; }
+
+  // Submits an operation via process i, recording it in the history. The
+  // optional callback also receives the response (after recording).
+  void submit(int i, object::Operation op,
+              core::Replica::Callback callback = nullptr);
+
+  // Runs the simulation for `d` of real time.
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  // Runs until every submitted operation has completed, or the deadline.
+  // Returns true on full completion.
+  bool await_quiesce(Duration timeout);
+
+  // Index of the unique steady leader, or -1.
+  int steady_leader();
+  // Runs until some process is a steady leader. True on success.
+  bool await_steady_leader(Duration timeout);
+
+  std::size_t completed() const { return completed_; }
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<const object::ObjectModel> model_;
+  core::Config core_config_;
+  sim::Simulation sim_;
+  checker::HistoryRecorder history_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace cht::harness

@@ -1,0 +1,59 @@
+#include "harness/raft_cluster.h"
+
+namespace cht::harness {
+
+RaftCluster::RaftCluster(ClusterConfig config,
+                         std::shared_ptr<const object::ObjectModel> model,
+                         raft::ReadMode read_mode)
+    : config_(config),
+      model_(std::move(model)),
+      raft_config_(raft::RaftConfig::defaults_for(config.delta)),
+      sim_(config.to_sim_config()) {
+  raft_config_.read_mode = read_mode;
+  for (int i = 0; i < config_.n; ++i) {
+    sim_.add_process(
+        std::make_unique<raft::RaftReplica>(model_, raft_config_));
+  }
+  sim_.start();
+}
+
+void RaftCluster::submit(int i, object::Operation op) {
+  raft::RaftReplica& target = replica(i);
+  const auto token = history_.begin(ProcessId(i), op, sim_.now());
+  ++submitted_;
+  auto callback = [this, token](const object::Response& response) {
+    history_.end(token, response, sim_.now());
+    ++completed_;
+  };
+  if (model_->is_read(op)) {
+    target.submit_read(std::move(op), std::move(callback));
+  } else {
+    target.submit_rmw(std::move(op), std::move(callback));
+  }
+}
+
+bool RaftCluster::await_quiesce(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return completed_ == submitted_; }, deadline);
+}
+
+int RaftCluster::leader() {
+  int found = -1;
+  std::int64_t best_term = -1;
+  for (int i = 0; i < config_.n; ++i) {
+    auto& r = replica(i);
+    if (!r.crashed() && r.role() == raft::RaftReplica::Role::kLeader &&
+        r.term() > best_term) {
+      best_term = r.term();
+      found = i;
+    }
+  }
+  return found;
+}
+
+bool RaftCluster::await_leader(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return leader() >= 0; }, deadline);
+}
+
+}  // namespace cht::harness

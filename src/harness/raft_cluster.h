@@ -1,0 +1,48 @@
+// Harness for clusters of the Raft baseline, mirroring harness::Cluster.
+#pragma once
+
+#include <memory>
+
+#include "checker/history.h"
+#include "harness/cluster.h"  // ClusterConfig
+#include "object/object.h"
+#include "raft/raft.h"
+#include "sim/simulation.h"
+
+namespace cht::harness {
+
+class RaftCluster {
+ public:
+  RaftCluster(ClusterConfig config,
+              std::shared_ptr<const object::ObjectModel> model,
+              raft::ReadMode read_mode = raft::ReadMode::kReadIndex);
+
+  sim::Simulation& sim() { return sim_; }
+  int n() const { return config_.n; }
+  raft::RaftReplica& replica(int i) {
+    return sim_.process_as<raft::RaftReplica>(ProcessId(i));
+  }
+  const object::ObjectModel& model() const { return *model_; }
+  checker::HistoryRecorder& history() { return history_; }
+  const raft::RaftConfig& raft_config() const { return raft_config_; }
+
+  void submit(int i, object::Operation op);
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  bool await_quiesce(Duration timeout);
+  int leader();  // index of the unique leader in the highest term, or -1
+  bool await_leader(Duration timeout);
+
+  std::size_t completed() const { return completed_; }
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<const object::ObjectModel> model_;
+  raft::RaftConfig raft_config_;
+  sim::Simulation sim_;
+  checker::HistoryRecorder history_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace cht::harness

@@ -1,0 +1,50 @@
+#include "harness/vr_cluster.h"
+
+namespace cht::harness {
+
+VrCluster::VrCluster(ClusterConfig config,
+                     std::shared_ptr<const object::ObjectModel> model)
+    : config_(config),
+      model_(std::move(model)),
+      vr_config_(vr::VrConfig::defaults_for(config.delta)),
+      sim_(config.to_sim_config()) {
+  for (int i = 0; i < config_.n; ++i) {
+    sim_.add_process(std::make_unique<vr::VrReplica>(model_, vr_config_));
+  }
+  sim_.start();
+}
+
+void VrCluster::submit(int i, object::Operation op) {
+  const auto token = history_.begin(ProcessId(i), op, sim_.now());
+  ++submitted_;
+  replica(i).submit(std::move(op),
+                    [this, token](const object::Response& response) {
+                      history_.end(token, response, sim_.now());
+                      ++completed_;
+                    });
+}
+
+bool VrCluster::await_quiesce(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return completed_ == submitted_; }, deadline);
+}
+
+int VrCluster::primary() {
+  int found = -1;
+  std::int64_t best_view = -1;
+  for (int i = 0; i < config_.n; ++i) {
+    auto& r = replica(i);
+    if (!r.crashed() && r.is_primary() && r.view() > best_view) {
+      best_view = r.view();
+      found = i;
+    }
+  }
+  return found;
+}
+
+bool VrCluster::await_primary(Duration timeout) {
+  const RealTime deadline = sim_.now() + timeout;
+  return sim_.run_until([this] { return primary() >= 0; }, deadline);
+}
+
+}  // namespace cht::harness

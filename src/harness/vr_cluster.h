@@ -1,0 +1,47 @@
+// Harness for clusters of the Viewstamped Replication baseline.
+#pragma once
+
+#include <memory>
+
+#include "checker/history.h"
+#include "harness/cluster.h"  // ClusterConfig
+#include "object/object.h"
+#include "sim/simulation.h"
+#include "vr/vr.h"
+
+namespace cht::harness {
+
+class VrCluster {
+ public:
+  VrCluster(ClusterConfig config,
+            std::shared_ptr<const object::ObjectModel> model);
+
+  sim::Simulation& sim() { return sim_; }
+  int n() const { return config_.n; }
+  vr::VrReplica& replica(int i) {
+    return sim_.process_as<vr::VrReplica>(ProcessId(i));
+  }
+  const object::ObjectModel& model() const { return *model_; }
+  checker::HistoryRecorder& history() { return history_; }
+  const vr::VrConfig& vr_config() const { return vr_config_; }
+
+  void submit(int i, object::Operation op);
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  bool await_quiesce(Duration timeout);
+  int primary();  // index of the normal-status primary in the highest view
+  bool await_primary(Duration timeout);
+
+  std::size_t completed() const { return completed_; }
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<const object::ObjectModel> model_;
+  vr::VrConfig vr_config_;
+  sim::Simulation sim_;
+  checker::HistoryRecorder history_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace cht::harness

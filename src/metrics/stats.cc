@@ -1,0 +1,33 @@
+#include "metrics/stats.h"
+
+#include "common/assert.h"
+
+namespace cht::metrics {
+
+Duration LatencyRecorder::min() const {
+  CHT_ASSERT(!samples_.empty(), "no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyRecorder::max() const {
+  CHT_ASSERT(!samples_.empty(), "no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyRecorder::mean() const {
+  CHT_ASSERT(!samples_.empty(), "no samples");
+  std::int64_t total = 0;
+  for (Duration d : samples_) total += d.to_micros();
+  return Duration::micros(total / static_cast<std::int64_t>(samples_.size()));
+}
+
+Duration LatencyRecorder::percentile(double q) const {
+  CHT_ASSERT(!samples_.empty(), "no samples");
+  CHT_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+  std::vector<Duration> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace cht::metrics

@@ -1,0 +1,35 @@
+// Latency/statistics helpers for tests and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cht::metrics {
+
+// Collects duration samples; computes order statistics on demand.
+class LatencyRecorder {
+ public:
+  void record(Duration d) { samples_.push_back(d); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  Duration min() const;
+  Duration max() const;
+  Duration mean() const;
+  // q in [0, 1]; nearest-rank percentile.
+  Duration percentile(double q) const;
+  Duration p50() const { return percentile(0.50); }
+  Duration p99() const { return percentile(0.99); }
+
+  const std::vector<Duration>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Duration> samples_;
+};
+
+}  // namespace cht::metrics

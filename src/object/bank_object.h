@@ -1,0 +1,68 @@
+// A bank: named accounts with balances and atomic transfers.
+//
+// Operations:
+//   balance(a)        -> amount   (read; conflicts with RMWs touching a)
+//   total()           -> amount   (read; transfers preserve the total, so it
+//                                  conflicts only with deposits)
+//   deposit(a, k)     -> new balance of a                  (RMW)
+//   transfer(a, b, k) -> "ok" | "insufficient"             (RMW)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class BankState final : public ObjectState {
+ public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<BankState>(*this);
+  }
+  std::string fingerprint() const override;
+
+  std::map<std::string, std::int64_t>& accounts() { return accounts_; }
+  const std::map<std::string, std::int64_t>& accounts() const {
+    return accounts_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> accounts_;
+};
+
+class BankObject final : public ObjectModel {
+ public:
+  std::string name() const override { return "bank"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<BankState>();
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override {
+    return op.kind == "balance" || op.kind == "total";
+  }
+  bool conflicts(const Operation& read, const Operation& rmw) const override;
+  // Accounts are independent for balance/deposit; transfer and total span
+  // accounts and force a whole-history check.
+  std::string partition_label(const Operation& op) const override {
+    if (op.kind == "balance") return op.arg;
+    if (op.kind == "deposit") return arg_field(op.arg, 0);
+    return "";
+  }
+
+  static Operation balance(const std::string& account) {
+    return {"balance", account};
+  }
+  static Operation total() { return {"total", ""}; }
+  static Operation deposit(const std::string& account, std::int64_t amount) {
+    return {"deposit", encode_args({account, std::to_string(amount)})};
+  }
+  static Operation transfer(const std::string& from, const std::string& to,
+                            std::int64_t amount) {
+    return {"transfer", encode_args({from, to, std::to_string(amount)})};
+  }
+};
+
+}  // namespace cht::object

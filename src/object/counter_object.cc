@@ -1,0 +1,31 @@
+#include "object/counter_object.h"
+
+#include "common/assert.h"
+
+namespace cht::object {
+
+Response CounterObject::apply(ObjectState& state, const Operation& op) const {
+  auto& counter = dynamic_cast<CounterState&>(state);
+  if (op.kind == "value") return std::to_string(counter.count());
+  if (op.kind == "parity") return counter.count() % 2 == 0 ? "even" : "odd";
+  if (op.kind == "add") {
+    counter.add(std::stoll(op.arg));
+    return std::to_string(counter.count());
+  }
+  if (op.kind == "noop") return "ok";
+  CHT_UNREACHABLE("unknown counter operation");
+}
+
+bool CounterObject::conflicts(const Operation& read,
+                              const Operation& rmw) const {
+  if (is_no_op(rmw)) return false;
+  if (rmw.kind == "add" && std::stoll(rmw.arg) == 0) return false;
+  if (read.kind == "parity") {
+    // Adding an even amount never changes parity: the exact, non-conservative
+    // conflict predicate from the paper's definition.
+    return rmw.kind == "add" && std::stoll(rmw.arg) % 2 != 0;
+  }
+  return true;
+}
+
+}  // namespace cht::object

@@ -1,0 +1,47 @@
+// A shared counter.
+//
+// Operations:  value() -> n  (read);  add(k) -> new value  (RMW, returns the
+// value after the addition, so it is a true read-modify-write);
+// parity() -> "even"|"odd" (read; conflicts only with odd increments).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class CounterState final : public ObjectState {
+ public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<CounterState>(*this);
+  }
+  std::string fingerprint() const override { return std::to_string(count_); }
+
+  std::int64_t count() const { return count_; }
+  void add(std::int64_t k) { count_ += k; }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+class CounterObject final : public ObjectModel {
+ public:
+  std::string name() const override { return "counter"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<CounterState>();
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override {
+    return op.kind == "value" || op.kind == "parity";
+  }
+  bool conflicts(const Operation& read, const Operation& rmw) const override;
+
+  static Operation value() { return {"value", ""}; }
+  static Operation parity() { return {"parity", ""}; }
+  static Operation add(std::int64_t k) { return {"add", std::to_string(k)}; }
+};
+
+}  // namespace cht::object

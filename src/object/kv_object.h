@@ -1,0 +1,70 @@
+// A key-value store.
+//
+// Operations:
+//   get(k)          -> value or ""          (read)
+//   put(k, v)       -> "ok"                 (RMW)
+//   del(k)          -> "ok"                 (RMW)
+//   cas(k, old, new)-> "ok" | "fail"        (RMW)
+//   size()          -> #keys                (read)
+//
+// Conflicts are per key: get(k) conflicts only with RMWs on the same key;
+// size() conflicts with put/del (which may change the key count) but not
+// with cas (which never inserts or removes in this encoding... it can fail
+// or overwrite, so it never changes the key set only if the key exists;
+// conservatively size() conflicts with cas too).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class KVState final : public ObjectState {
+ public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<KVState>(*this);
+  }
+  std::string fingerprint() const override;
+
+  std::map<std::string, std::string>& entries() { return entries_; }
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+class KVObject final : public ObjectModel {
+ public:
+  std::string name() const override { return "kv"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<KVState>();
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override {
+    return op.kind == "get" || op.kind == "size";
+  }
+  bool conflicts(const Operation& read, const Operation& rmw) const override;
+  // Keys are independent sub-objects; size() spans all of them.
+  std::string partition_label(const Operation& op) const override {
+    return op.kind == "size" ? "" : key_of(op);
+  }
+
+  static Operation get(const std::string& key) { return {"get", key}; }
+  static Operation size() { return {"size", ""}; }
+  static Operation put(const std::string& key, const std::string& value) {
+    return {"put", encode_args({key, value})};
+  }
+  static Operation del(const std::string& key) { return {"del", key}; }
+  static Operation cas(const std::string& key, const std::string& expected,
+                       const std::string& desired) {
+    return {"cas", encode_args({key, expected, desired})};
+  }
+
+ private:
+  static std::string key_of(const Operation& op);
+};
+
+}  // namespace cht::object

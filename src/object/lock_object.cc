@@ -1,0 +1,24 @@
+#include "object/lock_object.h"
+
+#include "common/assert.h"
+
+namespace cht::object {
+
+Response LockObject::apply(ObjectState& state, const Operation& op) const {
+  auto& lock = dynamic_cast<LockState&>(state);
+  if (op.kind == "holder") return lock.owner();
+  if (op.kind == "try_acquire") {
+    if (!lock.owner().empty() && lock.owner() != op.arg) return "held";
+    lock.set_owner(op.arg);
+    return "ok";
+  }
+  if (op.kind == "release") {
+    if (lock.owner() != op.arg) return "not-held";
+    lock.set_owner("");
+    return "ok";
+  }
+  if (op.kind == "noop") return "ok";
+  CHT_UNREACHABLE("unknown lock operation");
+}
+
+}  // namespace cht::object

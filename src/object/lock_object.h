@@ -1,0 +1,52 @@
+// A replicated try-lock (the paper's motivating "generic shared resource,
+// such as ... a lock").
+//
+// Operations:
+//   holder()          -> owner or ""   (read)
+//   try_acquire(who)  -> "ok"|"held"   (RMW)
+//   release(who)      -> "ok"|"not-held" (RMW)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class LockState final : public ObjectState {
+ public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<LockState>(*this);
+  }
+  std::string fingerprint() const override { return owner_; }
+
+  const std::string& owner() const { return owner_; }
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+
+ private:
+  std::string owner_;  // empty = free
+};
+
+class LockObject final : public ObjectModel {
+ public:
+  std::string name() const override { return "lock"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<LockState>();
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override {
+    return op.kind == "holder";
+  }
+  bool conflicts(const Operation&, const Operation& rmw) const override {
+    return !is_no_op(rmw);  // acquire/release may change the holder
+  }
+
+  static Operation holder() { return {"holder", ""}; }
+  static Operation try_acquire(const std::string& who) {
+    return {"try_acquire", who};
+  }
+  static Operation release(const std::string& who) { return {"release", who}; }
+};
+
+}  // namespace cht::object

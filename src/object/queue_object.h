@@ -1,0 +1,59 @@
+// A FIFO queue.
+//
+// Operations:
+//   enqueue(v)  -> new size                    (RMW)
+//   dequeue()   -> front value or "" if empty  (RMW: removes)
+//   front()     -> front value or ""           (read)
+//   length()    -> size                        (read)
+//
+// Conflicts: front() is unaffected by enqueues onto a (possibly) non-empty
+// queue — but from the empty state an enqueue changes front(), so front()
+// conservatively conflicts with enqueue and dequeue. length() conflicts
+// with both (they always change the size).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class QueueState final : public ObjectState {
+ public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<QueueState>(*this);
+  }
+  std::string fingerprint() const override;
+
+  std::deque<std::string>& items() { return items_; }
+  const std::deque<std::string>& items() const { return items_; }
+
+ private:
+  std::deque<std::string> items_;
+};
+
+class QueueObject final : public ObjectModel {
+ public:
+  std::string name() const override { return "queue"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<QueueState>();
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override {
+    return op.kind == "front" || op.kind == "length";
+  }
+  bool conflicts(const Operation&, const Operation& rmw) const override {
+    return !is_no_op(rmw);
+  }
+
+  static Operation enqueue(const std::string& value) {
+    return {"enqueue", value};
+  }
+  static Operation dequeue() { return {"dequeue", ""}; }
+  static Operation front() { return {"front", ""}; }
+  static Operation length() { return {"length", ""}; }
+};
+
+}  // namespace cht::object

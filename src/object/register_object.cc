@@ -1,0 +1,18 @@
+#include "object/register_object.h"
+
+#include "common/assert.h"
+
+namespace cht::object {
+
+Response RegisterObject::apply(ObjectState& state, const Operation& op) const {
+  auto& reg = dynamic_cast<RegisterState&>(state);
+  if (op.kind == "read") return reg.value();
+  if (op.kind == "write") {
+    reg.set_value(op.arg);
+    return "ok";
+  }
+  if (op.kind == "noop") return "ok";
+  CHT_UNREACHABLE("unknown register operation");
+}
+
+}  // namespace cht::object

@@ -1,0 +1,54 @@
+// A single read/write register.
+//
+// Operations:  read() -> value ;  write(v) -> "ok".
+// Every write conflicts with the read (unless it writes the current value,
+// which the static predicate cannot know, so it is conservatively true).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "object/object.h"
+
+namespace cht::object {
+
+class RegisterState final : public ObjectState {
+ public:
+  explicit RegisterState(std::string value) : value_(std::move(value)) {}
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<RegisterState>(value_);
+  }
+  std::string fingerprint() const override { return value_; }
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+ private:
+  std::string value_;
+};
+
+class RegisterObject final : public ObjectModel {
+ public:
+  explicit RegisterObject(std::string initial = "0")
+      : initial_(std::move(initial)) {}
+
+  std::string name() const override { return "register"; }
+  std::unique_ptr<ObjectState> make_initial_state() const override {
+    return std::make_unique<RegisterState>(initial_);
+  }
+  Response apply(ObjectState& state, const Operation& op) const override;
+  bool is_read(const Operation& op) const override { return op.kind == "read"; }
+  bool conflicts(const Operation&, const Operation& rmw) const override {
+    return !is_no_op(rmw);  // any write may change what read returns
+  }
+
+  static Operation read() { return {"read", ""}; }
+  static Operation write(std::string value) {
+    return {"write", std::move(value)};
+  }
+
+ private:
+  std::string initial_;
+};
+
+}  // namespace cht::object

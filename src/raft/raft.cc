@@ -1,0 +1,417 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace cht::raft {
+
+namespace {
+constexpr const char* kTag = "raft";
+}
+
+RaftReplica::RaftReplica(std::shared_ptr<const object::ObjectModel> model,
+                         RaftConfig config)
+    : model_(std::move(model)), config_(config) {}
+
+void RaftReplica::on_start() {
+  state_ = model_->make_initial_state();
+  next_index_.assign(cluster_size(), 1);
+  match_index_.assign(cluster_size(), 0);
+  probe_acked_.assign(cluster_size(), 0);
+  last_ack_local_.assign(cluster_size(), LocalTime::min());
+  reset_election_timer();
+}
+
+// ===========================================================================
+// Elections
+// ===========================================================================
+
+void RaftReplica::reset_election_timer() {
+  election_timer_.cancel();
+  const Duration timeout = Duration::micros(
+      rng().next_in(config_.election_timeout_min.to_micros(),
+                    config_.election_timeout_max.to_micros()));
+  election_timer_ = schedule_after(timeout, [this] { start_election(); });
+}
+
+void RaftReplica::start_election() {
+  if (role_ == Role::kLeader) return;
+  ++stats_.elections_started;
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id().index();
+  votes_ = {id().index()};
+  CHT_DEBUG(kTag) << id() << " starts election for term " << term_;
+  broadcast(msg::kRequestVote,
+            msg::RequestVote{term_, last_log_index(), term_at(last_log_index())});
+  reset_election_timer();
+  if (static_cast<int>(votes_.size()) >= majority()) become_leader();  // n == 1
+}
+
+void RaftReplica::become_follower(std::int64_t term) {
+  const bool was_leader = role_ == Role::kLeader;
+  if (term > term_) {
+    term_ = term;
+    voted_for_.reset();
+  }
+  role_ = Role::kFollower;
+  if (was_leader) {
+    heartbeat_timer_.cancel();
+    leader_reads_.clear();  // requesters retry against the new leader
+  }
+  reset_election_timer();
+}
+
+void RaftReplica::become_leader() {
+  CHT_DEBUG(kTag) << id() << " wins term " << term_;
+  ++stats_.terms_won;
+  role_ = Role::kLeader;
+  leader_hint_ = id();
+  next_index_.assign(cluster_size(), last_log_index() + 1);
+  match_index_.assign(cluster_size(), 0);
+  probe_acked_.assign(cluster_size(), 0);
+  last_ack_local_.assign(cluster_size(), LocalTime::min());
+  election_timer_.cancel();
+  // A new leader commits a no-op of its own term: required so commit_index
+  // can advance (only current-term entries commit by counting) and so
+  // ReadIndex reads observe every previously committed entry.
+  const OperationId noop_id{id(), ++op_seq_};
+  log_.push_back(LogEntry{term_, noop_id, object::no_op()});
+  ids_in_log_.insert(noop_id);
+  heartbeat_tick();
+}
+
+void RaftReplica::on_request_vote(ProcessId from,
+                                  const msg::RequestVote& request) {
+  if (request.term > term_) become_follower(request.term);
+  bool granted = false;
+  if (request.term == term_ &&
+      (!voted_for_.has_value() || *voted_for_ == from.index())) {
+    // Election restriction: grant only to candidates whose log is at least
+    // as up-to-date as ours.
+    const std::int64_t our_last_term = term_at(last_log_index());
+    const bool up_to_date =
+        request.last_log_term > our_last_term ||
+        (request.last_log_term == our_last_term &&
+         request.last_log_index >= last_log_index());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = from.index();
+      reset_election_timer();
+    }
+  }
+  send(from, msg::kVoteReply, msg::VoteReply{term_, granted});
+}
+
+void RaftReplica::on_vote_reply(ProcessId from, const msg::VoteReply& reply) {
+  if (reply.term > term_) {
+    become_follower(reply.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || reply.term != term_ || !reply.granted) {
+    return;
+  }
+  votes_.insert(from.index());
+  if (static_cast<int>(votes_.size()) >= majority()) become_leader();
+}
+
+// ===========================================================================
+// Replication
+// ===========================================================================
+
+void RaftReplica::heartbeat_tick() {
+  if (role_ != Role::kLeader) return;
+  ++probe_seq_;
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i == id().index()) continue;
+    send_append(ProcessId(i));
+  }
+  heartbeat_timer_ =
+      schedule_after(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void RaftReplica::send_append(ProcessId to) {
+  const std::int64_t next = next_index_.at(to.index());
+  const std::int64_t prev = next - 1;
+  msg::AppendEntries append{term_,          prev, term_at(prev), {},
+                            commit_index_,  probe_seq_};
+  for (std::int64_t i = next; i <= last_log_index(); ++i) {
+    append.entries.push_back(log_.at(static_cast<std::size_t>(i - 1)));
+  }
+  send(to, msg::kAppendEntries, append);
+}
+
+void RaftReplica::on_append_entries(ProcessId from,
+                                    const msg::AppendEntries& append) {
+  if (append.term > term_) become_follower(append.term);
+  if (append.term < term_) {
+    send(from, msg::kAppendReply,
+         msg::AppendReply{term_, false, last_log_index(), append.probe_seq});
+    return;
+  }
+  // append.term == term_: `from` is the legitimate leader of this term.
+  if (role_ != Role::kFollower) become_follower(append.term);
+  leader_hint_ = from;
+  reset_election_timer();
+
+  if (append.prev_index > last_log_index() ||
+      term_at(append.prev_index) != append.prev_term) {
+    send(from, msg::kAppendReply,
+         msg::AppendReply{term_, false, last_log_index(), append.probe_seq});
+    return;
+  }
+  // Append, truncating conflicting suffixes.
+  std::int64_t index = append.prev_index;
+  for (const LogEntry& entry : append.entries) {
+    ++index;
+    if (index <= last_log_index()) {
+      if (term_at(index) == entry.term) continue;  // already have it
+      // Conflict: drop our suffix from here on.
+      for (std::int64_t i = index; i <= last_log_index(); ++i) {
+        ids_in_log_.erase(log_.at(static_cast<std::size_t>(i - 1)).id);
+      }
+      log_.resize(static_cast<std::size_t>(index - 1));
+    }
+    log_.push_back(entry);
+    ids_in_log_.insert(entry.id);
+  }
+  if (append.leader_commit > commit_index_) {
+    commit_index_ = std::min(append.leader_commit, last_log_index());
+    apply_committed();
+  }
+  send(from, msg::kAppendReply,
+       msg::AppendReply{term_, true,
+                        append.prev_index +
+                            static_cast<std::int64_t>(append.entries.size()),
+                        append.probe_seq});
+}
+
+void RaftReplica::on_append_reply(ProcessId from,
+                                  const msg::AppendReply& reply) {
+  if (reply.term > term_) {
+    become_follower(reply.term);
+    return;
+  }
+  if (role_ != Role::kLeader || reply.term != term_) return;
+  const int f = from.index();
+  probe_acked_[f] = std::max(probe_acked_[f], reply.probe_seq);
+  last_ack_local_[f] = std::max(last_ack_local_[f], now_local());
+  if (reply.success) {
+    match_index_[f] = std::max(match_index_[f], reply.match_index);
+    next_index_[f] = match_index_[f] + 1;
+    advance_commit();
+  } else {
+    // Fast back-off: jump straight past the follower's log end.
+    next_index_[f] = std::min(next_index_[f] - 1, reply.match_index + 1);
+    if (next_index_[f] < 1) next_index_[f] = 1;
+    send_append(from);
+  }
+  maybe_answer_reads();
+}
+
+void RaftReplica::advance_commit() {
+  for (std::int64_t n = last_log_index(); n > commit_index_; --n) {
+    if (term_at(n) != term_) break;  // only current-term entries by counting
+    int replicas = 1;  // self
+    for (int i = 0; i < cluster_size(); ++i) {
+      if (i != id().index() && match_index_[i] >= n) ++replicas;
+    }
+    if (replicas >= majority()) {
+      commit_index_ = n;
+      apply_committed();
+      break;
+    }
+  }
+}
+
+void RaftReplica::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const LogEntry& entry = log_.at(static_cast<std::size_t>(last_applied_ - 1));
+    const object::Response response = model_->apply(*state_, entry.op);
+    if (entry.id.process == id()) {
+      auto node = pending_ops_.extract(entry.id);
+      if (!node.empty()) {
+        node.mapped().retry_timer.cancel();
+        ++stats_.rmws_completed;
+        if (node.mapped().callback) node.mapped().callback(response);
+      }
+    }
+  }
+  maybe_answer_reads();
+}
+
+// ===========================================================================
+// Clients
+// ===========================================================================
+
+void RaftReplica::submit_rmw(object::Operation op, Callback callback) {
+  CHT_ASSERT(!model_->is_read(op), "submit_rmw called with a read");
+  ++stats_.rmws_submitted;
+  const OperationId id{this->id(), ++op_seq_};
+  pending_ops_.try_emplace(
+      id, PendingClientOp{std::move(op), std::move(callback), false,
+                          sim::EventHandle()});
+  client_send(id);
+}
+
+void RaftReplica::submit_read(object::Operation op, Callback callback) {
+  CHT_ASSERT(model_->is_read(op), "submit_read called with a RMW");
+  ++stats_.reads_submitted;
+  const OperationId id{this->id(), ++op_seq_};
+  pending_ops_.try_emplace(
+      id, PendingClientOp{std::move(op), std::move(callback), true,
+                          sim::EventHandle()});
+  client_send(id);
+}
+
+void RaftReplica::client_send(const OperationId& id) {
+  auto it = pending_ops_.find(id);
+  if (it == pending_ops_.end()) return;
+  ProcessId target = role_ == Role::kLeader ? this->id() : leader_hint_;
+  if (!target.valid()) {
+    // No known leader yet: try a deterministic guess; retries rotate.
+    target = ProcessId(static_cast<int>(rng().next_below(
+        static_cast<std::uint64_t>(cluster_size()))));
+  }
+  if (it->second.is_read) {
+    const msg::ClientRead request{id, it->second.op};
+    if (target == this->id()) {
+      on_client_read(this->id(), request);
+      // A lease read at the leader completes synchronously and erases the
+      // pending entry; the iterator is dead then.
+      it = pending_ops_.find(id);
+      if (it == pending_ops_.end()) return;
+    } else {
+      send(target, msg::kClientRead, request);
+    }
+  } else {
+    const msg::ClientRmw request{id, it->second.op};
+    if (target == this->id()) {
+      on_client_rmw(this->id(), request);
+      it = pending_ops_.find(id);
+      if (it == pending_ops_.end()) return;
+    } else {
+      send(target, msg::kClientRmw, request);
+    }
+  }
+  it->second.retry_timer =
+      schedule_after(config_.client_retry, [this, id] { client_send(id); });
+}
+
+void RaftReplica::on_client_rmw(ProcessId /*from*/, const msg::ClientRmw& rmw) {
+  if (role_ != Role::kLeader) return;  // submitter retries
+  if (ids_in_log_.contains(rmw.id)) return;  // duplicate retry
+  log_.push_back(LogEntry{term_, rmw.id, rmw.op});
+  ids_in_log_.insert(rmw.id);
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i != id().index()) send_append(ProcessId(i));
+  }
+  if (cluster_size() == 1) advance_commit();
+}
+
+void RaftReplica::on_client_read(ProcessId from, const msg::ClientRead& read) {
+  if (role_ != Role::kLeader) return;  // submitter retries
+  if (config_.read_mode == ReadMode::kLeaderLease && lease_valid() &&
+      last_applied_ >= commit_index_) {
+    ++stats_.reads_served_by_lease;
+    const object::Response response = model_->apply(*state_, read.op);
+    const msg::ReadReply reply{read.id, response};
+    if (from == id()) {
+      on_message_read_reply(reply);
+    } else {
+      send(from, msg::kReadReply, reply);
+    }
+    return;
+  }
+  // ReadIndex: record the commit index and confirm leadership with a fresh
+  // heartbeat round before answering.
+  ++probe_seq_;
+  leader_reads_.push_back(
+      PendingLeaderRead{from, read.id, read.op, commit_index_, probe_seq_});
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i != id().index()) send_append(ProcessId(i));
+  }
+  maybe_answer_reads();  // n == 1: no confirmation needed
+}
+
+bool RaftReplica::lease_valid() {
+  // The leader holds a read lease until (quorum-th most recent follower ack)
+  // + election_timeout_min: no new leader can be elected before then, since
+  // a majority heard from us within the minimum election timeout.
+  std::vector<LocalTime> acks;
+  for (int i = 0; i < cluster_size(); ++i) {
+    if (i != id().index()) acks.push_back(last_ack_local_[i]);
+  }
+  std::sort(acks.begin(), acks.end(), std::greater<>());
+  const int needed = majority() - 1;  // besides ourselves
+  if (needed == 0) return true;
+  if (static_cast<int>(acks.size()) < needed) return false;
+  const LocalTime quorum_time = acks[static_cast<std::size_t>(needed - 1)];
+  if (quorum_time == LocalTime::min()) return false;
+  return now_local() < quorum_time + config_.election_timeout_min;
+}
+
+void RaftReplica::maybe_answer_reads() {
+  if (role_ != Role::kLeader) return;
+  for (auto it = leader_reads_.begin(); it != leader_reads_.end();) {
+    int confirmations = 1;  // self
+    for (int i = 0; i < cluster_size(); ++i) {
+      if (i != id().index() && probe_acked_[i] >= it->probe_seq) {
+        ++confirmations;
+      }
+    }
+    if (confirmations >= majority() && last_applied_ >= it->read_index) {
+      answer_read(*it);
+      it = leader_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RaftReplica::answer_read(const PendingLeaderRead& read) {
+  const object::Response response = model_->apply(*state_, read.op);
+  const msg::ReadReply reply{read.id, response};
+  if (read.from == id()) {
+    on_message_read_reply(reply);
+  } else {
+    send(read.from, msg::kReadReply, reply);
+  }
+}
+
+// ===========================================================================
+// Dispatch
+// ===========================================================================
+
+void RaftReplica::on_message(const sim::Message& message) {
+  if (message.is(msg::kRequestVote)) {
+    on_request_vote(message.from, message.as<msg::RequestVote>());
+  } else if (message.is(msg::kVoteReply)) {
+    on_vote_reply(message.from, message.as<msg::VoteReply>());
+  } else if (message.is(msg::kAppendEntries)) {
+    on_append_entries(message.from, message.as<msg::AppendEntries>());
+  } else if (message.is(msg::kAppendReply)) {
+    on_append_reply(message.from, message.as<msg::AppendReply>());
+  } else if (message.is(msg::kClientRmw)) {
+    on_client_rmw(message.from, message.as<msg::ClientRmw>());
+  } else if (message.is(msg::kClientRead)) {
+    on_client_read(message.from, message.as<msg::ClientRead>());
+  } else if (message.is(msg::kReadReply)) {
+    on_message_read_reply(message.as<msg::ReadReply>());
+  } else {
+    CHT_UNREACHABLE("unknown message type for raft replica");
+  }
+}
+
+void RaftReplica::on_message_read_reply(const msg::ReadReply& reply) {
+  auto node = pending_ops_.extract(reply.id);
+  if (node.empty()) return;
+  node.mapped().retry_timer.cancel();
+  ++stats_.reads_completed;
+  if (node.mapped().callback) node.mapped().callback(reply.response);
+}
+
+}  // namespace cht::raft

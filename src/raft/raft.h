@@ -1,0 +1,242 @@
+// Raft baseline (Ongaro & Ousterhout, USENIX ATC'14), implemented on the
+// same simulation substrate as the paper's algorithm so the two can be
+// compared head to head (paper Section 5).
+//
+// Scope: leader election with randomized timeouts, log replication with
+// conflict truncation, commit on current-term majority match, a no-op entry
+// at the start of each leadership term, and two read modes:
+//
+//   kReadIndex    — the paper's description of Raft reads: "each read
+//                   operation is sent to the current leader, and when the
+//                   leader receives a read request it exchanges heartbeat
+//                   messages with a majority of the cluster before
+//                   responding". Reads are never local and always block for
+//                   at least one round trip to the leader plus one majority
+//                   round.
+//   kLeaderLease  — the etcd-style clock-based optimization Raft's authors
+//                   mention in passing: the leader serves reads locally
+//                   while it holds a majority heartbeat lease. Reads are
+//                   still not local for followers (forwarded to the leader).
+//
+// Cluster membership changes and snapshotting are out of scope (the paper's
+// comparison does not touch them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "object/object.h"
+#include "sim/process.h"
+
+namespace cht::raft {
+
+enum class ReadMode { kReadIndex, kLeaderLease };
+
+struct RaftConfig {
+  Duration heartbeat_interval = Duration::millis(10);
+  Duration election_timeout_min = Duration::millis(100);
+  Duration election_timeout_max = Duration::millis(200);
+  Duration client_retry = Duration::millis(40);
+  ReadMode read_mode = ReadMode::kReadIndex;
+
+  static RaftConfig defaults_for(Duration delta) {
+    RaftConfig c;
+    c.heartbeat_interval = delta;
+    c.election_timeout_min = 10 * delta;
+    c.election_timeout_max = 20 * delta;
+    c.client_retry = 4 * delta;
+    return c;
+  }
+};
+
+struct LogEntry {
+  std::int64_t term = 0;
+  OperationId id;
+  object::Operation op;
+  bool operator==(const LogEntry&) const = default;
+};
+
+namespace msg {
+
+inline constexpr const char* kRequestVote = "raft.requestvote";
+inline constexpr const char* kVoteReply = "raft.votereply";
+inline constexpr const char* kAppendEntries = "raft.appendentries";
+inline constexpr const char* kAppendReply = "raft.appendreply";
+inline constexpr const char* kClientRmw = "raft.clientrmw";
+inline constexpr const char* kClientRead = "raft.clientread";
+inline constexpr const char* kReadReply = "raft.readreply";
+
+struct RequestVote {
+  std::int64_t term;
+  std::int64_t last_log_index;
+  std::int64_t last_log_term;
+};
+
+struct VoteReply {
+  std::int64_t term;
+  bool granted;
+};
+
+struct AppendEntries {
+  std::int64_t term;
+  std::int64_t prev_index;
+  std::int64_t prev_term;
+  std::vector<LogEntry> entries;
+  std::int64_t leader_commit;
+  std::int64_t probe_seq;  // ReadIndex confirmation round
+};
+
+struct AppendReply {
+  std::int64_t term;
+  bool success;
+  std::int64_t match_index;  // on success; on failure, follower's log length
+  std::int64_t probe_seq;
+};
+
+struct ClientRmw {
+  OperationId id;
+  object::Operation op;
+};
+
+struct ClientRead {
+  OperationId id;
+  object::Operation op;
+};
+
+struct ReadReply {
+  OperationId id;
+  object::Response response;
+};
+
+}  // namespace msg
+
+class RaftReplica : public sim::Process {
+ public:
+  using Callback = std::function<void(const object::Response&)>;
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  RaftReplica(std::shared_ptr<const object::ObjectModel> model,
+              RaftConfig config);
+
+  // Client API, mirroring core::Replica.
+  void submit_rmw(object::Operation op, Callback callback);
+  void submit_read(object::Operation op, Callback callback);
+
+  void on_start() override;
+  void on_message(const sim::Message& message) override;
+
+  struct Stats {
+    std::int64_t rmws_submitted = 0;
+    std::int64_t rmws_completed = 0;
+    std::int64_t reads_submitted = 0;
+    std::int64_t reads_completed = 0;
+    std::int64_t reads_served_by_lease = 0;
+    std::int64_t elections_started = 0;
+    std::int64_t terms_won = 0;
+  };
+
+  Role role() const { return role_; }
+  std::int64_t term() const { return term_; }
+  std::int64_t commit_index() const { return commit_index_; }
+  std::int64_t last_applied() const { return last_applied_; }
+  std::size_t log_size() const { return log_.size(); }
+  const std::vector<LogEntry>& log() const { return log_; }
+  ProcessId leader_hint() const { return leader_hint_; }
+  const Stats& stats() const { return stats_; }
+  const object::ObjectState& applied_state() const { return *state_; }
+
+ private:
+  struct PendingClientOp {
+    object::Operation op;
+    Callback callback;
+    bool is_read = false;
+    sim::EventHandle retry_timer;
+  };
+
+  // Leader-side pending ReadIndex reads.
+  struct PendingLeaderRead {
+    ProcessId from;
+    OperationId id;
+    object::Operation op;
+    std::int64_t read_index;
+    std::int64_t probe_seq;
+  };
+
+  // --- Roles & elections ---
+  void reset_election_timer();
+  void start_election();
+  void become_follower(std::int64_t term);
+  void become_leader();
+  void on_request_vote(ProcessId from, const msg::RequestVote& request);
+  void on_vote_reply(ProcessId from, const msg::VoteReply& reply);
+
+  // --- Replication ---
+  void heartbeat_tick();
+  void send_append(ProcessId to);
+  void on_append_entries(ProcessId from, const msg::AppendEntries& append);
+  void on_append_reply(ProcessId from, const msg::AppendReply& reply);
+  void advance_commit();
+  void apply_committed();
+
+  // --- Clients ---
+  void client_send(const OperationId& id);
+  void on_client_rmw(ProcessId from, const msg::ClientRmw& rmw);
+  void on_client_read(ProcessId from, const msg::ClientRead& read);
+  void maybe_answer_reads();
+  void answer_read(const PendingLeaderRead& read);
+  void on_message_read_reply(const msg::ReadReply& reply);
+  bool lease_valid();
+
+  std::int64_t last_log_index() const {
+    return static_cast<std::int64_t>(log_.size());
+  }
+  std::int64_t term_at(std::int64_t index) const {
+    return index == 0 ? 0 : log_.at(static_cast<std::size_t>(index - 1)).term;
+  }
+  int majority() const { return cluster_size() / 2 + 1; }
+
+  std::shared_ptr<const object::ObjectModel> model_;
+  RaftConfig config_;
+
+  // Persistent state.
+  std::int64_t term_ = 0;
+  std::optional<int> voted_for_;
+  std::vector<LogEntry> log_;  // log_[i] holds index i+1
+  std::unordered_set<OperationId> ids_in_log_;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  ProcessId leader_hint_;
+  std::int64_t commit_index_ = 0;
+  std::int64_t last_applied_ = 0;
+  std::unique_ptr<object::ObjectState> state_;
+  sim::EventHandle election_timer_;
+
+  // Leader state.
+  std::vector<std::int64_t> next_index_;
+  std::vector<std::int64_t> match_index_;
+  std::set<int> votes_;
+  sim::EventHandle heartbeat_timer_;
+  std::int64_t probe_seq_ = 0;
+  std::vector<std::int64_t> probe_acked_;
+  std::vector<LocalTime> last_ack_local_;  // per follower, for lease reads
+  std::list<PendingLeaderRead> leader_reads_;
+
+  // Client state.
+  std::int64_t op_seq_ = 0;
+  std::map<OperationId, PendingClientOp> pending_ops_;
+
+  Stats stats_;
+};
+
+}  // namespace cht::raft

@@ -1,0 +1,51 @@
+// Per-process local clocks.
+//
+// The model (paper, "Model sketch"): local clocks are monotonically
+// increasing with respect to real time and always synchronized within a
+// known constant epsilon of each other (satisfied when each clock is within
+// epsilon/2 of real time). We implement each clock as real time plus an
+// adjustable offset; offsets are drawn within [-epsilon/2, +epsilon/2].
+//
+// For robustness experiments the offset can be changed at runtime
+// ("desync injection"). Monotonicity is preserved by clamping: the clock
+// never reports a value below the largest value it has reported before.
+#pragma once
+
+#include "common/time.h"
+
+namespace cht::sim {
+
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(Duration offset) : offset_(offset) {}
+
+  // The clock reading at real time `real`. Monotonic across calls with
+  // non-decreasing `real` even if the offset was lowered in between.
+  LocalTime local_time(RealTime real) {
+    LocalTime raw = LocalTime::zero() + (real - RealTime::zero()) + offset_;
+    if (raw < high_water_) raw = high_water_;
+    high_water_ = raw;
+    return raw;
+  }
+
+  // Earliest real time at which this clock will read at least `local`,
+  // assuming the offset does not change. Callers that schedule wake-ups at
+  // this time must re-check the clock on wake-up (the offset may have moved).
+  RealTime real_time_when(LocalTime local) const {
+    if (local <= high_water_) return RealTime::min();
+    return RealTime::zero() + (local - LocalTime::zero()) - offset_;
+  }
+
+  Duration offset() const { return offset_; }
+
+  // Desync injection: shifts the clock by setting a new offset. Lowering the
+  // offset does not make the clock run backwards (see local_time).
+  void set_offset(Duration offset) { offset_ = offset; }
+
+ private:
+  Duration offset_ = Duration::zero();
+  LocalTime high_water_ = LocalTime::min();
+};
+
+}  // namespace cht::sim

@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cht::sim {
+
+EventHandle EventQueue::schedule(RealTime at, std::function<void()> fn) {
+  CHT_ASSERT(at >= now_, "cannot schedule an event in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+RealTime EventQueue::next_event_time() const {
+  drop_cancelled();
+  return heap_.empty() ? RealTime::max() : heap_.top().at;
+}
+
+bool EventQueue::step() {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  Event event = heap_.top();
+  heap_.pop();
+  CHT_ASSERT(event.at >= now_, "event queue time went backwards");
+  now_ = event.at;
+  event.fn();
+  return true;
+}
+
+}  // namespace cht::sim

@@ -1,0 +1,74 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (real time, insertion sequence), so two events at the
+// same instant fire in insertion order and every run of the simulator is a
+// deterministic function of its seed. Cancellation is supported through
+// shared handles; cancelled events are skipped lazily at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cht::sim {
+
+class EventQueue;
+
+// Handle for cancelling a scheduled event. Default-constructed handles are
+// inert. Copyable; cancelling any copy cancels the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool active() const { return cancelled_ != nullptr && !*cancelled_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  EventHandle schedule(RealTime at, std::function<void()> fn);
+
+  // Runs the next non-cancelled event, advancing the queue clock.
+  // Returns false if the queue is empty.
+  bool step();
+
+  RealTime now() const { return now_; }
+  bool empty() const;
+  std::size_t size() const { return heap_.size(); }  // includes cancelled
+
+  // Real time of the next pending event; RealTime::max() if none.
+  RealTime next_event_time() const;
+
+ private:
+  struct Event {
+    RealTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  RealTime now_ = RealTime::zero();
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cht::sim

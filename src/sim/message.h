@@ -1,0 +1,36 @@
+// Message envelope carried by the simulated network.
+//
+// Payloads are type-erased so each protocol module defines its own message
+// structs without a shared grand variant; receivers dispatch on `type` (an
+// interned name, also used for per-type message accounting) and any_cast the
+// payload.
+#pragma once
+
+#include <any>
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace cht::sim {
+
+struct Message {
+  ProcessId from;
+  ProcessId to;
+  std::string type;
+  std::any payload;
+  RealTime sent_at;
+
+  template <class T>
+  const T& as() const {
+    const T* p = std::any_cast<T>(&payload);
+    CHT_ASSERT(p != nullptr, "message payload type mismatch");
+    return *p;
+  }
+
+  bool is(std::string_view t) const { return type == t; }
+};
+
+}  // namespace cht::sim

@@ -1,0 +1,82 @@
+// Actor base class for simulated processes.
+//
+// A process reacts to messages and timers; handlers execute instantaneously
+// in simulated time (the paper's lower bound on process speed is satisfied
+// trivially; periodic work is modelled with explicit timers). Processes are
+// subject to crash failures only: once crashed, a process receives no
+// further events and sends no messages.
+//
+// The paper's per-process "three parallel threads" map onto this runtime as
+// message handlers plus timers; blocking waits in the pseudocode become
+// explicit state machines in subclasses.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+
+namespace cht::sim {
+
+class Simulation;
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  ProcessId id() const { return id_; }
+  int cluster_size() const { return n_; }
+  bool crashed() const { return crashed_; }
+
+  // --- Overridables -------------------------------------------------------
+  virtual void on_start() {}
+  virtual void on_message(const Message& message) = 0;
+  virtual void on_crash() {}
+
+  // --- Services (valid after attachment to a Simulation) ------------------
+  RealTime now_real() const;
+  LocalTime now_local() const;  // this process's clock reading
+
+  void send(ProcessId to, std::string type, std::any payload);
+  // Sends to every process except this one.
+  void broadcast(const std::string& type, const std::any& payload);
+
+  // Schedules `fn` at real time now + delay (models step timing / periodic
+  // work). The handle can cancel the timer. No-op after crash.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` to run once this process's clock reads at least `when`.
+  // Robust to clock adjustments: re-arms itself until the condition holds.
+  EventHandle schedule_at_local(LocalTime when, std::function<void()> fn);
+
+  // The simulation's deterministic random stream (for randomized timeouts).
+  Rng& rng() const;
+
+  // Records a protocol-level trace event (no-op unless tracing is enabled).
+  void trace_event(std::string category, std::string detail = "") const;
+
+ protected:
+  Process() = default;
+
+ private:
+  friend class Simulation;
+  void attach(Simulation* sim, ProcessId id, int n) {
+    sim_ = sim;
+    id_ = id;
+    n_ = n;
+  }
+  void mark_crashed() { crashed_ = true; }
+
+  Simulation* sim_ = nullptr;
+  ProcessId id_;
+  int n_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace cht::sim

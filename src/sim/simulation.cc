@@ -1,0 +1,139 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace cht::sim {
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(config),
+      rng_(config.seed),
+      network_(queue_, rng_.split(), config.network) {
+  network_.set_deliver_fn([this](const Message& m) { deliver(m); });
+  network_.set_trace(&trace_);
+}
+
+ProcessId Simulation::add_process(std::unique_ptr<Process> process) {
+  CHT_ASSERT(!started_, "cannot add processes after start()");
+  const ProcessId id(static_cast<int>(processes_.size()));
+  processes_.push_back(std::move(process));
+  const std::int64_t half = config_.epsilon.to_micros() / 2;
+  const Duration offset =
+      half == 0 ? Duration::zero() : Duration::micros(rng_.next_in(-half, half));
+  clocks_.emplace_back(offset);
+  return id;
+}
+
+void Simulation::start() {
+  CHT_ASSERT(!started_, "start() called twice");
+  started_ = true;
+  const int n = static_cast<int>(processes_.size());
+  for (int i = 0; i < n; ++i) processes_[i]->attach(this, ProcessId(i), n);
+  for (int i = 0; i < n; ++i) {
+    if (!processes_[i]->crashed()) processes_[i]->on_start();
+  }
+}
+
+void Simulation::run_until(RealTime deadline) {
+  while (!queue_.empty() && queue_.next_event_time() <= deadline) {
+    queue_.step();
+  }
+}
+
+bool Simulation::run_until(const std::function<bool()>& pred,
+                           RealTime deadline) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.next_event_time() <= deadline) {
+    queue_.step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+void Simulation::crash(ProcessId p) {
+  Process& proc = process(p);
+  if (proc.crashed()) return;
+  trace_.record(now(), p, "crash", "");
+  proc.mark_crashed();
+  proc.on_crash();
+}
+
+void Simulation::set_clock_offset(ProcessId p, Duration offset) {
+  clocks_.at(p.index()).set_offset(offset);
+}
+
+void Simulation::deliver(const Message& message) {
+  // Messages already in flight when their sender crashed are still
+  // delivered (the crash model loses no sent messages); crashed receivers
+  // take no steps.
+  Process& target = process(message.to);
+  if (target.crashed()) return;
+  target.on_message(message);
+}
+
+// --- Process service implementations (need Simulation's internals) --------
+
+RealTime Process::now_real() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->now();
+}
+
+LocalTime Process::now_local() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->clock(id_).local_time(sim_->now());
+}
+
+void Process::send(ProcessId to, std::string type, std::any payload) {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  if (crashed_) return;
+  // Self-sends also go through the network (uniform accounting, no handler
+  // reentrancy).
+  Message m{id_, to, std::move(type), std::move(payload), sim_->now()};
+  sim_->network().send(std::move(m));
+}
+
+void Process::broadcast(const std::string& type, const std::any& payload) {
+  for (int i = 0; i < n_; ++i) {
+    if (i == id_.index()) continue;
+    send(ProcessId(i), type, payload);
+  }
+}
+
+Rng& Process::rng() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->rng();
+}
+
+void Process::trace_event(std::string category, std::string detail) const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  sim_->trace().record(sim_->now(), id_, std::move(category),
+                       std::move(detail));
+}
+
+EventHandle Process::schedule_after(Duration delay, std::function<void()> fn) {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  if (crashed_) return EventHandle();
+  return sim_->queue().schedule(
+      sim_->now() + delay, [this, fn = std::move(fn)] {
+        if (!crashed_) fn();
+      });
+}
+
+EventHandle Process::schedule_at_local(LocalTime when,
+                                       std::function<void()> fn) {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  if (crashed_) return EventHandle();
+  Clock& clock = sim_->clock(id_);
+  RealTime target = clock.real_time_when(when);
+  if (target < sim_->now()) target = sim_->now();
+  return sim_->queue().schedule(target, [this, when, fn = std::move(fn)] {
+    if (crashed_) return;
+    if (now_local() >= when) {
+      fn();
+    } else {
+      // Clock was adjusted; re-arm.
+      schedule_at_local(when, fn);
+    }
+  });
+}
+
+}  // namespace cht::sim

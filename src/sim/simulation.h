@@ -1,0 +1,98 @@
+// Simulation driver: owns the event queue, network, clocks and processes.
+//
+// Usage:
+//   Simulation sim(SimulationConfig{...});
+//   sim.add_process(std::make_unique<MyProcess>(...));  // n times
+//   sim.start();
+//   sim.run_until(RealTime::micros(...));               // or run_until(pred)
+//
+// Fault injection: crash(p), set_clock_offset(p, d), network().set_link_down.
+// Determinism: all randomness comes from the seed in SimulationConfig.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+
+namespace cht::sim {
+
+struct SimulationConfig {
+  std::uint64_t seed = 1;
+  NetworkConfig network;
+  // Clocks are synchronized within epsilon of each other: each process's
+  // offset is drawn uniformly from [-epsilon/2, +epsilon/2].
+  Duration epsilon = Duration::millis(1);
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  // Adds a process; returns its id. All processes must be added before
+  // start(). The process's clock offset is drawn from the seed.
+  ProcessId add_process(std::unique_ptr<Process> process);
+
+  // Re-attaches ids/cluster size and calls on_start on every process.
+  void start();
+
+  // --- Execution ----------------------------------------------------------
+  void step() { queue_.step(); }
+  void run_until(RealTime deadline);
+  // Runs until pred() holds (checked after each event) or deadline passes.
+  // Returns true iff pred() held.
+  bool run_until(const std::function<bool()>& pred, RealTime deadline);
+  RealTime now() const { return queue_.now(); }
+
+  // Schedules an arbitrary callback on the simulation timeline (used for
+  // fault schedules and workload generators).
+  EventHandle at(RealTime when, std::function<void()> fn) {
+    return queue_.schedule(when, std::move(fn));
+  }
+  EventHandle after(Duration delay, std::function<void()> fn) {
+    return queue_.schedule(queue_.now() + delay, std::move(fn));
+  }
+
+  // --- Fault injection ----------------------------------------------------
+  void crash(ProcessId p);
+  void set_clock_offset(ProcessId p, Duration offset);
+
+  // --- Access -------------------------------------------------------------
+  int n() const { return static_cast<int>(processes_.size()); }
+  Process& process(ProcessId p) { return *processes_.at(p.index()); }
+  template <class T>
+  T& process_as(ProcessId p) {
+    T* typed = dynamic_cast<T*>(&process(p));
+    CHT_ASSERT(typed != nullptr, "process type mismatch");
+    return *typed;
+  }
+  Network& network() { return network_; }
+  EventQueue& queue() { return queue_; }
+  Clock& clock(ProcessId p) { return clocks_.at(p.index()); }
+  Rng& rng() { return rng_; }
+  Trace& trace() { return trace_; }
+  const SimulationConfig& config() const { return config_; }
+
+ private:
+  friend class Process;
+  void deliver(const Message& message);
+
+  SimulationConfig config_;
+  Rng rng_;
+  EventQueue queue_;
+  Network network_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Clock> clocks_;
+  Trace trace_;
+  bool started_ = false;
+};
+
+}  // namespace cht::sim

@@ -1,0 +1,27 @@
+#include "sim/trace.h"
+
+namespace cht::sim {
+
+void Trace::dump(std::ostream& os, std::size_t limit,
+                 const std::string& category_prefix) const {
+  std::vector<const TraceEvent*> selected;
+  for (const auto& event : events_) {
+    if (!category_prefix.empty() &&
+        event.category.rfind(category_prefix, 0) != 0) {
+      continue;
+    }
+    selected.push_back(&event);
+  }
+  const std::size_t start =
+      (limit != 0 && selected.size() > limit) ? selected.size() - limit : 0;
+  for (std::size_t i = start; i < selected.size(); ++i) {
+    const TraceEvent& event = *selected[i];
+    os << "[" << event.at.to_millis_f() << " ms] ";
+    if (event.process.valid()) os << event.process << " ";
+    os << event.category;
+    if (!event.detail.empty()) os << ": " << event.detail;
+    os << "\n";
+  }
+}
+
+}  // namespace cht::sim

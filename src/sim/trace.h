@@ -1,0 +1,60 @@
+// Structured event tracing.
+//
+// When enabled, the simulation records network sends/deliveries, crashes,
+// and any protocol-level events processes choose to report (leadership
+// changes, commits, lease grants, ...). Disabled (the default) it costs one
+// branch per event. Used for debugging failing seeds and by chtread_sim
+// --trace.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace cht::sim {
+
+struct TraceEvent {
+  RealTime at;
+  ProcessId process;     // invalid for simulation-global events
+  std::string category;  // e.g. "net.send", "net.deliver", "crash", "leader"
+  std::string detail;
+};
+
+class Trace {
+ public:
+  // `include_network` controls whether per-message net.send events are
+  // recorded too; protocol-level events are usually what you want, and
+  // network events outnumber them by orders of magnitude.
+  void enable(bool include_network = true) {
+    enabled_ = true;
+    network_enabled_ = include_network;
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+  bool network_enabled() const { return enabled_ && network_enabled_; }
+
+  void record(RealTime at, ProcessId process, std::string category,
+              std::string detail) {
+    if (!enabled_) return;
+    events_.push_back(
+        TraceEvent{at, process, std::move(category), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // Prints the last `limit` events (0 = all), optionally filtered to a
+  // category prefix (e.g. "net." or "leader").
+  void dump(std::ostream& os, std::size_t limit = 0,
+            const std::string& category_prefix = "") const;
+
+ private:
+  bool enabled_ = false;
+  bool network_enabled_ = true;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cht::sim

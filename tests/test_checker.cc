@@ -1,0 +1,179 @@
+// Linearizability checker: accepts valid histories, rejects classic
+// violations, handles pending and concurrent operations.
+#include "checker/linearizability.h"
+
+#include <gtest/gtest.h>
+
+#include "object/counter_object.h"
+#include "object/register_object.h"
+
+namespace cht::checker {
+namespace {
+
+using object::CounterObject;
+using object::RegisterObject;
+
+RealTime rt(std::int64_t us) { return RealTime::zero() + Duration::micros(us); }
+
+HistoryOp op(int proc, object::Operation operation, std::int64_t invoke_us,
+             std::int64_t respond_us, std::string response) {
+  HistoryOp h;
+  h.process = ProcessId(proc);
+  h.op = std::move(operation);
+  h.invoked = rt(invoke_us);
+  h.responded = rt(respond_us);
+  h.response = std::move(response);
+  return h;
+}
+
+HistoryOp pending(int proc, object::Operation operation,
+                  std::int64_t invoke_us) {
+  HistoryOp h;
+  h.process = ProcessId(proc);
+  h.op = std::move(operation);
+  h.invoked = rt(invoke_us);
+  return h;
+}
+
+TEST(CheckerTest, EmptyHistoryIsLinearizable) {
+  RegisterObject model;
+  EXPECT_TRUE(check_linearizable(model, {}).linearizable);
+}
+
+TEST(CheckerTest, SequentialHistoryAccepted) {
+  RegisterObject model("0");
+  std::vector<HistoryOp> h{
+      op(0, RegisterObject::read(), 0, 10, "0"),
+      op(0, RegisterObject::write("1"), 20, 30, "ok"),
+      op(1, RegisterObject::read(), 40, 50, "1"),
+  };
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, StaleReadRejected) {
+  RegisterObject model("0");
+  std::vector<HistoryOp> h{
+      op(0, RegisterObject::write("1"), 0, 10, "ok"),
+      op(1, RegisterObject::read(), 20, 30, "0"),  // stale: write completed
+  };
+  const auto result = check_linearizable(model, h);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_FALSE(result.explanation.empty());
+}
+
+TEST(CheckerTest, ConcurrentReadMayGoEitherWay) {
+  RegisterObject model("0");
+  // Read overlaps the write: both old and new value are linearizable.
+  for (const char* value : {"0", "1"}) {
+    std::vector<HistoryOp> h{
+        op(0, RegisterObject::write("1"), 0, 100, "ok"),
+        op(1, RegisterObject::read(), 50, 60, value),
+    };
+    EXPECT_TRUE(check_linearizable(model, h).linearizable) << value;
+  }
+}
+
+TEST(CheckerTest, ReadNewThenOldRejected) {
+  RegisterObject model("0");
+  // Second read starts after the first finished; values went 1 -> 0 with no
+  // intervening write: not linearizable.
+  std::vector<HistoryOp> h{
+      op(0, RegisterObject::write("1"), 0, 200, "ok"),
+      op(1, RegisterObject::read(), 50, 60, "1"),
+      op(1, RegisterObject::read(), 70, 80, "0"),
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, LostUpdateRejected) {
+  CounterObject model;
+  // Two adds both claim to have observed only themselves.
+  std::vector<HistoryOp> h{
+      op(0, CounterObject::add(1), 0, 10, "1"),
+      op(1, CounterObject::add(1), 20, 30, "1"),  // must have been "2"
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, RmwResponsesOrderTheHistory) {
+  CounterObject model;
+  // Responses determine the only valid order: p1's add saw 1 first.
+  std::vector<HistoryOp> h{
+      op(0, CounterObject::add(1), 0, 100, "2"),
+      op(1, CounterObject::add(1), 0, 100, "1"),
+      op(2, CounterObject::value(), 150, 160, "2"),
+  };
+  const auto result = check_linearizable(model, h);
+  ASSERT_TRUE(result.linearizable);
+  EXPECT_EQ(result.order.size(), 3u);
+}
+
+TEST(CheckerTest, PendingOpMayTakeEffect) {
+  RegisterObject model("0");
+  // The write never returned, but a later read observed it: allowed.
+  std::vector<HistoryOp> h{
+      pending(0, RegisterObject::write("1"), 0),
+      op(1, RegisterObject::read(), 50, 60, "1"),
+  };
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, PendingOpMayNeverTakeEffect) {
+  RegisterObject model("0");
+  std::vector<HistoryOp> h{
+      pending(0, RegisterObject::write("1"), 0),
+      op(1, RegisterObject::read(), 50, 60, "0"),
+  };
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, PendingOpCannotTakeEffectBeforeInvocation) {
+  RegisterObject model("0");
+  // The read *completed before* the write was even invoked.
+  std::vector<HistoryOp> h{
+      op(1, RegisterObject::read(), 0, 10, "1"),
+      pending(0, RegisterObject::write("1"), 50),
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, RmwSubhistoryFilterIgnoresReads) {
+  RegisterObject model("0");
+  // Full history has a stale read; the RMW sub-history is fine. This mirrors
+  // the paper's clock-desync robustness claim.
+  std::vector<HistoryOp> h{
+      op(0, RegisterObject::write("1"), 0, 10, "ok"),
+      op(1, RegisterObject::read(), 20, 30, "0"),  // stale
+      op(0, RegisterObject::write("2"), 40, 50, "ok"),
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+  EXPECT_TRUE(check_rmw_subhistory_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, DeepConcurrencyStillDecided) {
+  RegisterObject model("0");
+  // Five fully concurrent writes and a read that saw one of them.
+  std::vector<HistoryOp> h;
+  for (int i = 0; i < 5; ++i) {
+    h.push_back(op(i, RegisterObject::write(std::to_string(i)), 0, 100, "ok"));
+  }
+  h.push_back(op(5, RegisterObject::read(), 200, 210, "3"));
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+  // ...but seeing a value nobody wrote is rejected.
+  h.back() = op(5, RegisterObject::read(), 200, 210, "9");
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, LongSequentialHistoryFast) {
+  CounterObject model;
+  std::vector<HistoryOp> h;
+  std::int64_t t = 0;
+  for (int i = 1; i <= 5000; ++i) {
+    h.push_back(op(0, CounterObject::add(1), t, t + 5, std::to_string(i)));
+    t += 10;
+  }
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+}  // namespace
+}  // namespace cht::checker

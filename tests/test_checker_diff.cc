@@ -1,0 +1,142 @@
+// Differential validation of the linearizability checker: on small random
+// histories, compare its verdict against a brute-force reference that tries
+// every real-time-respecting permutation (and every take-effect subset of
+// pending operations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "checker/linearizability.h"
+#include "common/rng.h"
+#include "object/register_object.h"
+
+namespace cht::checker {
+namespace {
+
+using object::ObjectModel;
+using object::RegisterObject;
+
+// Reference: recursive enumeration without memoization or pruning beyond
+// the definition itself.
+bool brute_force(const ObjectModel& model, const std::vector<HistoryOp>& ops) {
+  const std::size_t n = ops.size();
+  std::vector<bool> used(n, false);
+  std::size_t completed_left = 0;
+  for (const auto& op : ops) {
+    if (op.completed()) ++completed_left;
+  }
+
+  std::function<bool(object::ObjectState&, std::size_t)> rec =
+      [&](object::ObjectState& state, std::size_t remaining_completed) {
+        if (remaining_completed == 0) return true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (used[i]) continue;
+          // Real-time precedence: i cannot be next if some unused op's
+          // response precedes i's invocation.
+          bool blocked = false;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i || used[j] || !ops[j].completed()) continue;
+            if (*ops[j].responded < ops[i].invoked) {
+              blocked = true;
+              break;
+            }
+          }
+          if (blocked) continue;
+          auto next = state.clone();
+          const auto got = model.apply(*next, ops[i].op);
+          if (ops[i].completed() && got != *ops[i].response) continue;
+          used[i] = true;
+          const bool ok =
+              rec(*next, remaining_completed - (ops[i].completed() ? 1 : 0));
+          used[i] = false;
+          if (ok) return true;
+        }
+        return false;
+      };
+  auto state = model.make_initial_state();
+  return rec(*state, completed_left);
+}
+
+TEST(CheckerDifferentialTest, MatchesBruteForceOnRandomHistories) {
+  RegisterObject model("0");
+  Rng rng(2024);
+  int linearizable_count = 0;
+  int violation_count = 0;
+  for (int round = 0; round < 400; ++round) {
+    // Random small history: overlapping intervals, writes of small values,
+    // reads of possibly-wrong values, occasional pending ops.
+    const int n_ops = static_cast<int>(rng.next_in(2, 7));
+    std::vector<HistoryOp> ops;
+    for (int i = 0; i < n_ops; ++i) {
+      HistoryOp op;
+      op.process = ProcessId(static_cast<int>(rng.next_below(3)));
+      const std::int64_t invoke = rng.next_in(0, 60);
+      op.invoked = RealTime::micros(invoke);
+      const bool pending = rng.next_bool(0.2);
+      if (!pending) {
+        op.responded = RealTime::micros(invoke + rng.next_in(1, 40));
+      }
+      if (rng.next_bool(0.5)) {
+        op.op = RegisterObject::write(std::to_string(rng.next_in(0, 2)));
+        if (!pending) op.response = "ok";
+      } else {
+        op.op = RegisterObject::read();
+        if (!pending) op.response = std::to_string(rng.next_in(0, 2));
+      }
+      ops.push_back(op);
+    }
+    const bool expected = brute_force(model, ops);
+    const bool got = check_linearizable(model, ops).linearizable;
+    ASSERT_EQ(got, expected) << "divergence at round " << round;
+    if (expected) {
+      ++linearizable_count;
+    } else {
+      ++violation_count;
+    }
+  }
+  // The generator must exercise both verdicts meaningfully.
+  EXPECT_GT(linearizable_count, 50);
+  EXPECT_GT(violation_count, 50);
+}
+
+TEST(CheckerDifferentialTest, OrderReturnedIsAValidLinearization) {
+  RegisterObject model("0");
+  Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    // Generate a history from an actual sequential execution, then jitter
+    // the intervals so it stays linearizable.
+    std::vector<HistoryOp> ops;
+    auto state = model.make_initial_state();
+    std::int64_t t = 0;
+    for (int i = 0; i < 6; ++i) {
+      HistoryOp op;
+      op.process = ProcessId(0);
+      op.op = rng.next_bool(0.5)
+                  ? RegisterObject::write(std::to_string(i))
+                  : RegisterObject::read();
+      op.response = model.apply(*state, op.op);
+      op.invoked = RealTime::micros(t);
+      op.responded = RealTime::micros(t + rng.next_in(1, 9));
+      t += 10;
+      ops.push_back(op);
+    }
+    const auto result = check_linearizable(model, ops);
+    ASSERT_TRUE(result.linearizable);
+    ASSERT_EQ(result.order.size(), ops.size());
+    // Replay the returned order (indices into invocation-sorted history).
+    std::vector<HistoryOp> sorted = ops;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const HistoryOp& a, const HistoryOp& b) {
+                       return a.invoked < b.invoked;
+                     });
+    auto replay = model.make_initial_state();
+    for (std::size_t index : result.order) {
+      const auto& op = sorted.at(index);
+      ASSERT_EQ(model.apply(*replay, op.op), *op.response);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cht::checker

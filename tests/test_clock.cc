@@ -1,0 +1,57 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cht::sim {
+namespace {
+
+RealTime rt(std::int64_t us) { return RealTime::zero() + Duration::micros(us); }
+LocalTime lt(std::int64_t us) {
+  return LocalTime::zero() + Duration::micros(us);
+}
+
+TEST(ClockTest, OffsetApplied) {
+  Clock clock(Duration::micros(250));
+  EXPECT_EQ(clock.local_time(rt(1000)), lt(1250));
+}
+
+TEST(ClockTest, NegativeOffset) {
+  Clock clock(Duration::micros(-250));
+  EXPECT_EQ(clock.local_time(rt(1000)), lt(750));
+}
+
+TEST(ClockTest, RealTimeWhenInvertsOffset) {
+  Clock clock(Duration::micros(100));
+  EXPECT_EQ(clock.real_time_when(lt(500)), rt(400));
+  EXPECT_EQ(clock.local_time(clock.real_time_when(lt(500))), lt(500));
+}
+
+TEST(ClockTest, MonotonicUnderOffsetDecrease) {
+  Clock clock(Duration::micros(1000));
+  EXPECT_EQ(clock.local_time(rt(5000)), lt(6000));
+  clock.set_offset(Duration::micros(-1000));  // desync injection
+  // The raw reading would be 4500, below the 6000 already reported.
+  EXPECT_EQ(clock.local_time(rt(5500)), lt(6000));
+  // Once real time catches up, the clock advances again.
+  EXPECT_EQ(clock.local_time(rt(8000)), lt(8000 - 1000));
+}
+
+TEST(ClockTest, RealTimeWhenAlreadyReached) {
+  Clock clock(Duration::micros(0));
+  EXPECT_EQ(clock.local_time(rt(100)), lt(100));
+  EXPECT_LE(clock.real_time_when(lt(50)), rt(100));
+}
+
+TEST(ClockTest, SkewBetweenTwoClocksBounded) {
+  // Two clocks with offsets within [-eps/2, eps/2] stay within eps.
+  const Duration eps = Duration::millis(2);
+  Clock a(eps / 2);
+  Clock b(Duration::zero() - eps / 2);
+  for (std::int64_t t = 0; t < 1'000'000; t += 100'000) {
+    const Duration skew = a.local_time(rt(t)) - b.local_time(rt(t));
+    EXPECT_LE(skew, eps);
+  }
+}
+
+}  // namespace
+}  // namespace cht::sim

@@ -1,0 +1,76 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cht::sim {
+namespace {
+
+RealTime at_us(std::int64_t us) { return RealTime::zero() + Duration::micros(us); }
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(at_us(30), [&] { fired.push_back(3); });
+  q.schedule(at_us(10), [&] { fired.push_back(1); });
+  q.schedule(at_us(20), [&] { fired.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), at_us(30));
+}
+
+TEST(EventQueueTest, SameInstantFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_us(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelledEventsAreSkipped) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(at_us(10), [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  while (q.step()) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule(q.now() + Duration::micros(1), chain);
+  };
+  q.schedule(at_us(1), chain);
+  while (q.step()) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), at_us(5));
+}
+
+TEST(EventQueueTest, NextEventTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_event_time(), RealTime::max());
+  auto h = q.schedule(at_us(42), [] {});
+  EXPECT_EQ(q.next_event_time(), at_us(42));
+  h.cancel();
+  EXPECT_EQ(q.next_event_time(), RealTime::max());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EmptyQueueStepReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace cht::sim

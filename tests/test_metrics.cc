@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace cht::metrics {
+namespace {
+
+TEST(LatencyRecorderTest, OrderStatistics) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.record(Duration::micros(i));
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.min(), Duration::micros(1));
+  EXPECT_EQ(r.max(), Duration::micros(100));
+  EXPECT_EQ(r.mean(), Duration::micros(50));  // 5050/100 truncated
+  EXPECT_EQ(r.p50(), Duration::micros(51));   // nearest rank: sorted[50]
+  EXPECT_EQ(r.p99(), Duration::micros(99));
+  EXPECT_EQ(r.percentile(0.0), Duration::micros(1));
+  EXPECT_EQ(r.percentile(1.0), Duration::micros(100));
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder r;
+  r.record(Duration::millis(7));
+  EXPECT_EQ(r.p50(), Duration::millis(7));
+  EXPECT_EQ(r.min(), r.max());
+}
+
+TEST(LatencyRecorderTest, ClearResets) {
+  LatencyRecorder r;
+  r.record(Duration::millis(1));
+  r.clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(LatencyRecorderTest, UnsortedInput) {
+  LatencyRecorder r;
+  for (int v : {30, 10, 20}) r.record(Duration::micros(v));
+  EXPECT_EQ(r.min(), Duration::micros(10));
+  EXPECT_EQ(r.p50(), Duration::micros(20));
+  EXPECT_EQ(r.max(), Duration::micros(30));
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"a", "long-header"});
+  table.add_row({"xxxxx", "1"});
+  table.add_row({"y", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string expected =
+      "| a     | long-header |\n"
+      "|-------|-------------|\n"
+      "| xxxxx | 1           |\n"
+      "| y     | 22          |\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table table({"a", "b"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("| only-one | "), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace cht::metrics

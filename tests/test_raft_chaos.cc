@@ -1,0 +1,82 @@
+// Raft baseline under asynchrony, loss and crashes — safety must hold in
+// the same adversarial conditions the core algorithm is tested under.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/linearizability.h"
+#include "common/rng.h"
+#include "harness/raft_cluster.h"
+#include "object/kv_object.h"
+
+namespace cht {
+namespace {
+
+using harness::ClusterConfig;
+using harness::RaftCluster;
+
+class RaftChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaftChaosTest, LinearizableUnderChaosAndCrash) {
+  ClusterConfig config;
+  config.n = 5;
+  config.seed = GetParam();
+  config.delta = Duration::millis(10);
+  config.gst = RealTime::zero() + Duration::seconds(1);
+  config.pre_gst_loss = 0.15;
+  config.pre_gst_delay_max = Duration::millis(120);
+  RaftCluster cluster(config, std::make_shared<object::KVObject>());
+  Rng rng(GetParam() * 31 + 7);
+
+  bool crashed = false;
+  for (int step = 0; step < 60; ++step) {
+    const int proc = static_cast<int>(rng.next_below(5));
+    if (cluster.replica(proc).crashed()) continue;
+    // Two keys (checker partitions per key); space submissions out before
+    // GST to bound the concurrency the checker must untangle.
+    const std::string key = rng.next_bool(0.5) ? "k1" : "k2";
+    if (rng.next_bool(0.5)) {
+      cluster.submit(proc, object::KVObject::get(key));
+    } else {
+      cluster.submit(proc, object::KVObject::put(key, "s" + std::to_string(step)));
+    }
+    const bool pre_gst = cluster.sim().now() < config.gst;
+    cluster.run_for(Duration::millis(pre_gst ? rng.next_in(60, 140)
+                                             : rng.next_in(20, 80)));
+    if (!crashed && step == 30) {
+      const int leader = cluster.leader();
+      if (leader >= 0) {
+        cluster.sim().crash(ProcessId(leader));
+        crashed = true;
+      }
+    }
+  }
+  const bool quiesced = cluster.await_quiesce(Duration::seconds(120));
+  if (!quiesced) {
+    // Only ops submitted at the crashed process may hang.
+    for (const auto& op : cluster.history().ops()) {
+      if (!op.completed()) {
+        EXPECT_TRUE(cluster.replica(op.process.index()).crashed())
+            << op.process << " op never completed";
+      }
+    }
+  }
+  const auto result =
+      checker::check_linearizable(cluster.model(), cluster.history().ops());
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+
+  // Election safety: at most one leader per term across final states.
+  std::map<std::int64_t, int> per_term;
+  for (int i = 0; i < cluster.n(); ++i) {
+    if (!cluster.replica(i).crashed() &&
+        cluster.replica(i).role() == raft::RaftReplica::Role::kLeader) {
+      EXPECT_LE(++per_term[cluster.replica(i).term()], 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftChaosTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace cht

@@ -1,0 +1,202 @@
+// White-box Raft protocol tests: a single RaftReplica driven by scripted
+// puppet peers — term handling, vote restrictions, log truncation, commit
+// rules.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "object/register_object.h"
+#include "raft/raft.h"
+#include "sim/simulation.h"
+
+namespace cht {
+namespace {
+
+using object::RegisterObject;
+using raft::LogEntry;
+using raft::RaftReplica;
+
+class RaftPuppet : public sim::Process {
+ public:
+  void on_message(const sim::Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<sim::Message> received;
+
+  int count(std::string_view type) const {
+    int n = 0;
+    for (const auto& m : received) {
+      if (m.is(type)) ++n;
+    }
+    return n;
+  }
+  const sim::Message* last(std::string_view type) const {
+    for (auto it = received.rbegin(); it != received.rend(); ++it) {
+      if (it->is(type)) return &*it;
+    }
+    return nullptr;
+  }
+};
+
+class RaftProtocolTest : public ::testing::Test {
+ protected:
+  RaftProtocolTest() : sim_(make_config()) {
+    raft::RaftConfig rc = raft::RaftConfig::defaults_for(Duration::millis(2));
+    // Keep the replica from starting elections during scripted exchanges.
+    rc.election_timeout_min = Duration::seconds(100);
+    rc.election_timeout_max = Duration::seconds(200);
+    for (int i = 0; i < 4; ++i) {
+      sim_.add_process(std::make_unique<RaftPuppet>());
+    }
+    sim_.add_process(std::make_unique<RaftReplica>(
+        std::make_shared<RegisterObject>(), rc));
+    sim_.start();
+  }
+
+  static sim::SimulationConfig make_config() {
+    sim::SimulationConfig c;
+    c.seed = 9;
+    c.epsilon = Duration::zero();
+    c.network.gst = RealTime::zero();
+    c.network.delta = Duration::millis(2);
+    c.network.delta_min = Duration::millis(1);
+    return c;
+  }
+
+  RaftPuppet& puppet(int i) { return sim_.process_as<RaftPuppet>(ProcessId(i)); }
+  RaftReplica& replica() {
+    return sim_.process_as<RaftReplica>(ProcessId(4));
+  }
+  static ProcessId replica_id() { return ProcessId(4); }
+  void run(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  static LogEntry entry(std::int64_t term, int proc, std::int64_t seq,
+                        const std::string& value) {
+    return LogEntry{term, OperationId{ProcessId(proc), seq},
+                    RegisterObject::write(value)};
+  }
+
+  sim::Simulation sim_;
+};
+
+TEST_F(RaftProtocolTest, GrantsVoteToUpToDateCandidate) {
+  puppet(0).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{1, 0, 0});
+  run(Duration::millis(10));
+  ASSERT_EQ(puppet(0).count(raft::msg::kVoteReply), 1);
+  const auto& reply =
+      puppet(0).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>();
+  EXPECT_TRUE(reply.granted);
+  EXPECT_EQ(reply.term, 1);
+  EXPECT_EQ(replica().term(), 1);
+}
+
+TEST_F(RaftProtocolTest, DoesNotVoteTwiceInSameTerm) {
+  puppet(0).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{1, 0, 0});
+  run(Duration::millis(10));
+  puppet(1).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{1, 0, 0});
+  run(Duration::millis(10));
+  ASSERT_EQ(puppet(1).count(raft::msg::kVoteReply), 1);
+  EXPECT_FALSE(
+      puppet(1).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
+}
+
+TEST_F(RaftProtocolTest, RejectsVoteForStaleLog) {
+  // Give the replica a log entry at term 2 via AppendEntries.
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries,
+                 raft::msg::AppendEntries{2, 0, 0,
+                                          {entry(2, 0, 1, "x")}, 0, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 1u);
+  // A candidate with an older last-log term must be rejected even in a
+  // newer term.
+  puppet(1).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{3, 5, 1});
+  run(Duration::millis(10));
+  ASSERT_EQ(puppet(1).count(raft::msg::kVoteReply), 1);
+  EXPECT_FALSE(
+      puppet(1).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
+  // One with an equal term and >= length is accepted.
+  puppet(2).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{3, 1, 2});
+  run(Duration::millis(10));
+  EXPECT_TRUE(
+      puppet(2).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
+}
+
+TEST_F(RaftProtocolTest, AppendRejectsMismatchedPrev) {
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries,
+                 raft::msg::AppendEntries{1, 3, 1, {entry(1, 0, 1, "x")}, 0, 0});
+  run(Duration::millis(10));
+  ASSERT_EQ(puppet(0).count(raft::msg::kAppendReply), 1);
+  const auto& reply =
+      puppet(0).last(raft::msg::kAppendReply)->as<raft::msg::AppendReply>();
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.match_index, 0);  // hint: follower log length
+  EXPECT_EQ(replica().log_size(), 0u);
+}
+
+TEST_F(RaftProtocolTest, ConflictingSuffixIsTruncated) {
+  // Term-1 leader appends two entries.
+  puppet(0).send(
+      replica_id(), raft::msg::kAppendEntries,
+      raft::msg::AppendEntries{
+          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 0, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 2u);
+  // Term-2 leader replaces index 2 with its own entry.
+  puppet(1).send(
+      replica_id(), raft::msg::kAppendEntries,
+      raft::msg::AppendEntries{2, 1, 1, {entry(2, 1, 1, "c")}, 0, 0});
+  run(Duration::millis(10));
+  ASSERT_EQ(replica().log_size(), 2u);
+  EXPECT_EQ(replica().log()[1].term, 2);
+  EXPECT_EQ(replica().log()[1].op.arg, "c");
+}
+
+TEST_F(RaftProtocolTest, CommitFollowsLeaderCommit) {
+  puppet(0).send(
+      replica_id(), raft::msg::kAppendEntries,
+      raft::msg::AppendEntries{
+          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 1, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().commit_index(), 1);
+  EXPECT_EQ(replica().last_applied(), 1);
+  // Leader commit beyond our log length is clamped.
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries,
+                 raft::msg::AppendEntries{1, 2, 1, {}, 99, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().commit_index(), 2);
+  EXPECT_EQ(replica().applied_state().fingerprint(), "b");
+}
+
+TEST_F(RaftProtocolTest, StaleTermAppendRejected) {
+  puppet(0).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{5, 0, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().term(), 5);
+  puppet(1).send(replica_id(), raft::msg::kAppendEntries,
+                 raft::msg::AppendEntries{3, 0, 0, {entry(3, 1, 1, "x")}, 0, 0});
+  run(Duration::millis(10));
+  const auto& reply =
+      puppet(1).last(raft::msg::kAppendReply)->as<raft::msg::AppendReply>();
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.term, 5);
+  EXPECT_EQ(replica().log_size(), 0u);
+}
+
+TEST_F(RaftProtocolTest, DuplicateAppendIsIdempotent) {
+  const raft::msg::AppendEntries append{1, 0, 0, {entry(1, 0, 1, "a")}, 1, 0};
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries, append);
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries, append);
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 1u);
+  EXPECT_EQ(replica().commit_index(), 1);
+  EXPECT_EQ(puppet(0).count(raft::msg::kAppendReply), 2);  // both acked
+}
+
+}  // namespace
+}  // namespace cht

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cht {
+namespace {
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  std::vector<std::uint64_t> va, vb, vc;
+  for (int i = 0; i < 100; ++i) {
+    va.push_back(a.next_u64());
+    vb.push_back(b.next_u64());
+    vc.push_back(c.next_u64());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RngTest, NextInIsInclusiveAndCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_in(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.next_bool(0.2) ? 1 : 0;
+  EXPECT_NEAR(trues / 10000.0, 0.2, 0.02);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng.next_bool(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.split();
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(parent.next_u64());
+    b.push_back(child.next_u64());
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, NextBelowUnbiasedEnough) {
+  Rng rng(17);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) ++buckets[rng.next_below(10)];
+  for (int count : buckets) EXPECT_NEAR(count, 10000, 500);
+}
+
+}  // namespace
+}  // namespace cht

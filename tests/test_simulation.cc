@@ -1,0 +1,182 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cht::sim {
+namespace {
+
+// A process that logs everything it sees, for observing runtime semantics.
+class Probe : public Process {
+ public:
+  std::vector<std::string> events;
+  void on_start() override { events.push_back("start"); }
+  void on_message(const Message& message) override {
+    events.push_back("msg:" + message.type + ":from" +
+                     std::to_string(message.from.index()));
+  }
+  void on_crash() override { events.push_back("crash"); }
+};
+
+SimulationConfig quick_config(std::uint64_t seed = 1) {
+  SimulationConfig config;
+  config.seed = seed;
+  config.network.gst = RealTime::zero();
+  config.network.delta = Duration::millis(2);
+  config.network.delta_min = Duration::micros(100);
+  return config;
+}
+
+TEST(SimulationTest, StartCallsEveryProcess) {
+  Simulation sim(quick_config());
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sim.process_as<Probe>(ProcessId(i)).events.front(), "start");
+  }
+}
+
+TEST(SimulationTest, SendAndBroadcastDeliver) {
+  Simulation sim(quick_config());
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  sim.process(ProcessId(0)).broadcast("hello", std::string("x"));
+  sim.run_until(RealTime::zero() + Duration::millis(10));
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(1)).events.back(), "msg:hello:from0");
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(2)).events.back(), "msg:hello:from0");
+  // Broadcast excludes self.
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(0)).events.size(), 1u);
+}
+
+TEST(SimulationTest, CrashedProcessesReceiveNothingAndSendNothing) {
+  Simulation sim(quick_config());
+  for (int i = 0; i < 2; ++i) sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  sim.crash(ProcessId(1));
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(1)).events.back(), "crash");
+  sim.process(ProcessId(0)).send(ProcessId(1), "m", std::string());
+  sim.process(ProcessId(1)).send(ProcessId(0), "m", std::string());
+  sim.run_until(RealTime::zero() + Duration::millis(10));
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(0)).events.size(), 1u);  // start only
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(1)).events.back(), "crash");
+}
+
+TEST(SimulationTest, MessagesInFlightAtCrashStillDeliver) {
+  Simulation sim(quick_config());
+  for (int i = 0; i < 2; ++i) sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  sim.process(ProcessId(1)).send(ProcessId(0), "last-words", std::string());
+  sim.crash(ProcessId(1));
+  sim.run_until(RealTime::zero() + Duration::millis(10));
+  EXPECT_EQ(sim.process_as<Probe>(ProcessId(0)).events.back(),
+            "msg:last-words:from1");
+}
+
+TEST(SimulationTest, CrashedProcessTimersDoNotFire) {
+  Simulation sim(quick_config());
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  bool fired = false;
+  sim.process(ProcessId(0)).schedule_after(Duration::millis(5),
+                                           [&] { fired = true; });
+  sim.crash(ProcessId(0));
+  sim.run_until(RealTime::zero() + Duration::millis(20));
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, LocalTimersHonorClockOffsets) {
+  SimulationConfig config = quick_config();
+  config.epsilon = Duration::zero();  // start with identical clocks
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  sim.set_clock_offset(ProcessId(0), Duration::millis(-3));  // clock is slow
+  RealTime fired_at = RealTime::zero();
+  const LocalTime target = LocalTime::zero() + Duration::millis(10);
+  sim.process(ProcessId(0)).schedule_at_local(target, [&] {
+    fired_at = sim.now();
+  });
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  // Clock reads real-3ms, so it reaches l=10ms at r=13ms.
+  EXPECT_EQ(fired_at, RealTime::zero() + Duration::millis(13));
+}
+
+TEST(SimulationTest, LocalTimersRearmAfterDesync) {
+  SimulationConfig config = quick_config();
+  config.epsilon = Duration::zero();
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  RealTime fired_at = RealTime::zero();
+  sim.process(ProcessId(0)).schedule_at_local(
+      LocalTime::zero() + Duration::millis(10),
+      [&] { fired_at = sim.now(); });
+  // Before the timer fires, slow the clock down by 5ms.
+  sim.at(RealTime::zero() + Duration::millis(5),
+         [&] { sim.set_clock_offset(ProcessId(0), Duration::millis(-5)); });
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  EXPECT_EQ(fired_at, RealTime::zero() + Duration::millis(15));
+}
+
+TEST(SimulationTest, DeterministicBySeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(quick_config(seed));
+    for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<Probe>());
+    sim.start();
+    for (int round = 0; round < 20; ++round) {
+      sim.process(ProcessId(round % 3))
+          .broadcast("r" + std::to_string(round), std::string());
+      sim.run_until(sim.now() + Duration::millis(1));
+    }
+    sim.run_until(sim.now() + Duration::millis(50));
+    std::vector<std::string> all;
+    for (int i = 0; i < 3; ++i) {
+      const auto& events = sim.process_as<Probe>(ProcessId(i)).events;
+      all.insert(all.end(), events.begin(), events.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SimulationTest, RunUntilPredicate) {
+  Simulation sim(quick_config());
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.after(Duration::millis(1), tick);
+  };
+  sim.after(Duration::millis(1), tick);
+  const bool reached = sim.run_until([&] { return count >= 5; },
+                                     RealTime::zero() + Duration::seconds(1));
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(count, 5);
+  const bool unreachable = sim.run_until([&] { return count >= 1'000'000; },
+                                         RealTime::zero() + Duration::millis(20));
+  EXPECT_FALSE(unreachable);
+}
+
+TEST(SimulationTest, ClockOffsetsWithinEpsilon) {
+  SimulationConfig config = quick_config(99);
+  config.epsilon = Duration::millis(4);
+  Simulation sim(config);
+  for (int i = 0; i < 10; ++i) sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      const Duration skew =
+          sim.clock(ProcessId(i)).offset() - sim.clock(ProcessId(j)).offset();
+      EXPECT_LE(skew, config.epsilon);
+      EXPECT_GE(skew, Duration::zero() - config.epsilon);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cht::sim

@@ -1,0 +1,59 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cht {
+namespace {
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((Duration::millis(3) + Duration::micros(500)).to_micros(), 3500);
+  EXPECT_EQ((Duration::seconds(1) - Duration::millis(1)).to_micros(), 999000);
+  EXPECT_EQ((Duration::millis(2) * 3).to_micros(), 6000);
+  EXPECT_EQ((3 * Duration::millis(2)).to_micros(), 6000);
+  EXPECT_EQ((Duration::millis(9) / 3).to_micros(), 3000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_GE(Duration::zero(), Duration::zero());
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::micros(1500).to_millis_f(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(2500).to_seconds_f(), 2.5);
+}
+
+TEST(TimePointTest, RealTimeArithmetic) {
+  const RealTime t = RealTime::zero() + Duration::millis(5);
+  EXPECT_EQ(t.to_micros(), 5000);
+  EXPECT_EQ((t + Duration::millis(1)).to_micros(), 6000);
+  EXPECT_EQ((t - Duration::millis(1)).to_micros(), 4000);
+  EXPECT_EQ(t - RealTime::zero(), Duration::millis(5));
+}
+
+TEST(TimePointTest, LocalAndRealAreDistinctTypes) {
+  // LocalTime and RealTime must not be interchangeable; this is a
+  // compile-time property, checked here via traits.
+  static_assert(!std::is_convertible_v<LocalTime, RealTime>);
+  static_assert(!std::is_convertible_v<RealTime, LocalTime>);
+  SUCCEED();
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(LocalTime::zero(), LocalTime::zero() + Duration::micros(1));
+  EXPECT_LT(LocalTime::min(), LocalTime::zero());
+  EXPECT_LT(LocalTime::zero(), LocalTime::max());
+}
+
+TEST(TimePointTest, Streaming) {
+  std::ostringstream os;
+  os << (RealTime::zero() + Duration::micros(7)) << " "
+     << (LocalTime::zero() + Duration::micros(8)) << " " << Duration::micros(9);
+  EXPECT_EQ(os.str(), "r7us l8us 9us");
+}
+
+}  // namespace
+}  // namespace cht

@@ -1,0 +1,96 @@
+// Viewstamped Replication under adversarial conditions: pre-GST asynchrony
+// and loss, primary crashes — safety (linearizability, log prefix
+// agreement) must hold and liveness must return after stabilization.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/linearizability.h"
+#include "common/rng.h"
+#include "harness/vr_cluster.h"
+#include "object/kv_object.h"
+
+namespace cht {
+namespace {
+
+using harness::ClusterConfig;
+using harness::VrCluster;
+
+class VrChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VrChaosTest, LinearizableUnderChaosAndCrash) {
+  ClusterConfig config;
+  config.n = 5;
+  config.seed = GetParam();
+  config.delta = Duration::millis(10);
+  config.gst = RealTime::zero() + Duration::seconds(1);
+  config.pre_gst_loss = 0.15;
+  config.pre_gst_delay_max = Duration::millis(120);
+  VrCluster cluster(config, std::make_shared<object::KVObject>());
+  Rng rng(GetParam() * 131 + 17);
+
+  bool crashed = false;
+  for (int step = 0; step < 50; ++step) {
+    const int proc = static_cast<int>(rng.next_below(5));
+    if (cluster.replica(proc).crashed()) continue;
+    const std::string key = rng.next_bool(0.5) ? "k1" : "k2";
+    if (rng.next_bool(0.5)) {
+      cluster.submit(proc, object::KVObject::get(key));
+    } else {
+      cluster.submit(proc,
+                     object::KVObject::put(key, "s" + std::to_string(step)));
+    }
+    const bool pre_gst = cluster.sim().now() < config.gst;
+    cluster.run_for(Duration::millis(pre_gst ? rng.next_in(60, 140)
+                                             : rng.next_in(20, 80)));
+    if (!crashed && step == 25) {
+      const int primary = cluster.primary();
+      if (primary >= 0) {
+        cluster.sim().crash(ProcessId(primary));
+        crashed = true;
+      }
+    }
+  }
+  const bool quiesced = cluster.await_quiesce(Duration::seconds(120));
+  if (!quiesced) {
+    for (const auto& op : cluster.history().ops()) {
+      if (!op.completed()) {
+        EXPECT_TRUE(cluster.replica(op.process.index()).crashed())
+            << op.process << " op never completed";
+      }
+    }
+  }
+  const auto result =
+      checker::check_linearizable(cluster.model(), cluster.history().ops());
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+
+  // Committed log prefixes agree across survivors.
+  cluster.run_for(Duration::seconds(1));
+  int reference = -1;
+  for (int i = 0; i < cluster.n(); ++i) {
+    if (!cluster.replica(i).crashed()) {
+      reference = i;
+      break;
+    }
+  }
+  ASSERT_GE(reference, 0);
+  const auto& ref_log = cluster.replica(reference).log();
+  const std::int64_t ref_commit = cluster.replica(reference).commit_number();
+  for (int i = reference + 1; i < cluster.n(); ++i) {
+    if (cluster.replica(i).crashed()) continue;
+    const auto& log = cluster.replica(i).log();
+    const std::int64_t upto =
+        std::min(ref_commit, cluster.replica(i).commit_number());
+    for (std::int64_t j = 0; j < upto; ++j) {
+      ASSERT_EQ(log.at(static_cast<std::size_t>(j)),
+                ref_log.at(static_cast<std::size_t>(j)))
+          << "committed prefix divergence at " << j + 1 << " on replica " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VrChaosTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace cht

@@ -1,0 +1,193 @@
+// White-box VR protocol tests: a single VrReplica driven by scripted
+// puppets — view-change quorums, log selection, state transfer, commit
+// clamping.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "object/register_object.h"
+#include "sim/simulation.h"
+#include "vr/vr.h"
+
+namespace cht {
+namespace {
+
+using object::RegisterObject;
+using vr::VrLogEntry;
+using vr::VrReplica;
+
+class VrPuppet : public sim::Process {
+ public:
+  void on_message(const sim::Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<sim::Message> received;
+  int count(std::string_view type) const {
+    int n = 0;
+    for (const auto& m : received) {
+      if (m.is(type)) ++n;
+    }
+    return n;
+  }
+  const sim::Message* last(std::string_view type) const {
+    for (auto it = received.rbegin(); it != received.rend(); ++it) {
+      if (it->is(type)) return &*it;
+    }
+    return nullptr;
+  }
+};
+
+// The replica under test is process 1 (so it is the primary of view 1 and a
+// backup in view 0, whose primary is puppet 0).
+class VrProtocolTest : public ::testing::Test {
+ protected:
+  VrProtocolTest() : sim_(make_config()) {
+    vr::VrConfig config = vr::VrConfig::defaults_for(Duration::millis(2));
+    config.view_change_timeout = Duration::seconds(100);  // no spontaneous VC
+    sim_.add_process(std::make_unique<VrPuppet>());  // p0: view-0 primary
+    sim_.add_process(std::make_unique<VrReplica>(
+        std::make_shared<RegisterObject>(), config));  // p1: under test
+    for (int i = 2; i < 5; ++i) sim_.add_process(std::make_unique<VrPuppet>());
+    sim_.start();
+  }
+  static sim::SimulationConfig make_config() {
+    sim::SimulationConfig c;
+    c.seed = 13;
+    c.epsilon = Duration::zero();
+    c.network.gst = RealTime::zero();
+    c.network.delta = Duration::millis(2);
+    c.network.delta_min = Duration::millis(1);
+    return c;
+  }
+
+  VrPuppet& puppet(int i) { return sim_.process_as<VrPuppet>(ProcessId(i)); }
+  VrReplica& replica() { return sim_.process_as<VrReplica>(ProcessId(1)); }
+  static ProcessId replica_id() { return ProcessId(1); }
+  void run(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  static VrLogEntry entry(int proc, std::int64_t seq, const std::string& v) {
+    return VrLogEntry{OperationId{ProcessId(proc), seq},
+                      RegisterObject::write(v)};
+  }
+
+  sim::Simulation sim_;
+};
+
+TEST_F(VrProtocolTest, BackupAppendsAndAcksInOrder) {
+  puppet(0).send(replica_id(), vr::msg::kPrepare,
+                 vr::msg::Prepare{0, 2, {entry(0, 1, "a"), entry(0, 2, "b")}, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 2u);
+  ASSERT_EQ(puppet(0).count(vr::msg::kPrepareOk), 1);
+  EXPECT_EQ(puppet(0).last(vr::msg::kPrepareOk)->as<vr::msg::PrepareOk>().op_number,
+            2);
+}
+
+TEST_F(VrProtocolTest, GapTriggersStateTransfer) {
+  // A Prepare whose suffix starts beyond our log end cannot be applied.
+  puppet(0).send(replica_id(), vr::msg::kPrepare,
+                 vr::msg::Prepare{0, 5, {entry(0, 5, "e")}, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 0u);
+  EXPECT_EQ(puppet(0).count(vr::msg::kGetState), 1);
+  // Serve the transfer; the replica catches up.
+  puppet(0).send(replica_id(), vr::msg::kNewState,
+                 vr::msg::NewState{0,
+                                   {entry(0, 1, "a"), entry(0, 2, "b"),
+                                    entry(0, 3, "c"), entry(0, 4, "d"),
+                                    entry(0, 5, "e")},
+                                   5, 3});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().log_size(), 5u);
+  EXPECT_EQ(replica().commit_number(), 3);
+  EXPECT_EQ(replica().applied_state().fingerprint(), "c");
+}
+
+TEST_F(VrProtocolTest, CommitClampedToLogLength) {
+  puppet(0).send(replica_id(), vr::msg::kPrepare,
+                 vr::msg::Prepare{0, 1, {entry(0, 1, "a")}, 99});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().commit_number(), 1);
+}
+
+TEST_F(VrProtocolTest, BecomesPrimaryOfViewOneAfterQuorum) {
+  // Give the replica a log first.
+  puppet(0).send(replica_id(), vr::msg::kPrepare,
+                 vr::msg::Prepare{0, 1, {entry(0, 1, "a")}, 1});
+  run(Duration::millis(10));
+  // Two puppets announce a view change to view 1 (whose primary is p1).
+  puppet(2).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{1});
+  puppet(3).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{1});
+  run(Duration::millis(10));
+  EXPECT_EQ(replica().view(), 1);
+  // DoViewChanges from a majority (incl. the replica's own).
+  puppet(2).send(replica_id(), vr::msg::kDoViewChange,
+                 vr::msg::DoViewChange{1, {entry(0, 1, "a")}, 0, 1, 1});
+  puppet(3).send(replica_id(), vr::msg::kDoViewChange,
+                 vr::msg::DoViewChange{1, {entry(0, 1, "a"), entry(0, 2, "b")},
+                                       0, 2, 1});
+  run(Duration::millis(10));
+  EXPECT_TRUE(replica().is_primary());
+  // It selected the longest same-view log...
+  EXPECT_EQ(replica().log_size(), 2u);
+  // ...and broadcast StartView to everyone.
+  EXPECT_GE(puppet(2).count(vr::msg::kStartView), 1);
+  EXPECT_GE(puppet(3).count(vr::msg::kStartView), 1);
+}
+
+TEST_F(VrProtocolTest, HigherLastNormalViewBeatsLongerLog) {
+  puppet(2).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{1});
+  puppet(3).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{1});
+  run(Duration::millis(10));
+  // Puppet 2's log is longer but from an older normal view; puppet 3's
+  // shorter log from a newer normal view must win (it may contain commits
+  // the longer, staler log predates).
+  puppet(2).send(
+      replica_id(), vr::msg::kDoViewChange,
+      vr::msg::DoViewChange{
+          1, {entry(0, 1, "a"), entry(0, 2, "b"), entry(0, 3, "c")}, 0, 3, 1});
+  run(Duration::millis(10));
+  EXPECT_FALSE(replica().is_primary());  // only 2 DVCs (incl. own) so far
+  // Craft: to have last_normal_view > 0, pretend a view 0.5... views are
+  // integers; give puppet 3 last_normal_view = 0 but this test needs a
+  // genuine newer view. Use view 6 (primary = p1 again, 6 mod 5 = 1).
+  puppet(2).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{6});
+  puppet(3).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{6});
+  run(Duration::millis(10));
+  puppet(2).send(
+      replica_id(), vr::msg::kDoViewChange,
+      vr::msg::DoViewChange{
+          6, {entry(0, 1, "a"), entry(0, 2, "b"), entry(0, 3, "c")}, 0, 3, 0});
+  puppet(3).send(replica_id(), vr::msg::kDoViewChange,
+                 vr::msg::DoViewChange{6, {entry(1, 1, "x")}, 4, 1, 1});
+  run(Duration::millis(10));
+  EXPECT_TRUE(replica().is_primary());
+  EXPECT_EQ(replica().view(), 6);
+  ASSERT_EQ(replica().log_size(), 1u);
+  EXPECT_EQ(replica().log()[0].op.arg, "x");
+}
+
+TEST_F(VrProtocolTest, StaleViewMessagesIgnored) {
+  // Move to view 6 (see above), then messages from view 0 must be ignored.
+  puppet(2).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{6});
+  puppet(3).send(replica_id(), vr::msg::kStartViewChange,
+                 vr::msg::StartViewChange{6});
+  run(Duration::millis(10));
+  const auto acks_before = puppet(0).count(vr::msg::kPrepareOk);
+  puppet(0).send(replica_id(), vr::msg::kPrepare,
+                 vr::msg::Prepare{0, 1, {entry(0, 1, "a")}, 0});
+  run(Duration::millis(10));
+  EXPECT_EQ(puppet(0).count(vr::msg::kPrepareOk), acks_before);
+  EXPECT_EQ(replica().log_size(), 0u);
+}
+
+}  // namespace
+}  // namespace cht
