@@ -1,0 +1,319 @@
+#include "chaos/adapter.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.h"
+#include "harness/cluster.h"
+#include "harness/raft_cluster.h"
+#include "harness/vr_cluster.h"
+#include "object/bank_object.h"
+#include "object/counter_object.h"
+#include "object/kv_object.h"
+#include "object/lock_object.h"
+#include "object/queue_object.h"
+
+namespace cht::chaos {
+namespace {
+
+harness::ClusterConfig cluster_config(const RunSpec& spec) {
+  harness::ClusterConfig config;
+  config.n = spec.n;
+  config.seed = spec.seed;
+  config.delta = spec.delta();
+  config.epsilon = spec.epsilon();
+  config.gst = spec.gst();
+  config.pre_gst_loss = spec.pre_gst_loss;
+  return config;
+}
+
+// --- chtread (the paper's algorithm) ---------------------------------------
+
+class ChtreadAdapter final : public ClusterAdapter {
+ public:
+  ChtreadAdapter(const RunSpec& spec,
+                 std::shared_ptr<const object::ObjectModel> model)
+      : cluster_(cluster_config(spec), std::move(model)) {}
+
+  const std::string& protocol() const override {
+    static const std::string kName = "chtread";
+    return kName;
+  }
+  sim::Simulation& sim() override { return cluster_.sim(); }
+  int n() const override { return cluster_.n(); }
+  const object::ObjectModel& model() const override { return cluster_.model(); }
+  checker::HistoryRecorder& history() override { return cluster_.history(); }
+  void submit(int process, object::Operation op) override {
+    cluster_.submit(process, std::move(op));
+  }
+  bool crashed(int process) const override {
+    return const_cast<harness::Cluster&>(cluster_).replica(process).crashed();
+  }
+  int leader() override { return cluster_.steady_leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return cluster_.await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return cluster_.submitted(); }
+  std::size_t completed() const override { return cluster_.completed(); }
+
+  std::vector<std::string> protocol_invariants() override {
+    std::vector<std::string> violations;
+    // At most one steady leader among survivors (post-stabilization there
+    // must not be two processes both passing the AmLeader check).
+    int steady = 0;
+    for (int i = 0; i < n(); ++i) {
+      auto& r = cluster_.replica(i);
+      if (!r.crashed() && r.is_steady_leader()) ++steady;
+    }
+    if (steady > 1) {
+      violations.push_back("chtread: " + std::to_string(steady) +
+                           " simultaneous steady leaders");
+    }
+    // Committed-batch agreement: batches applied by two survivors must be
+    // identical (the "pre-determined order, the same for all processes").
+    for (int i = 0; i < n(); ++i) {
+      if (cluster_.replica(i).crashed()) continue;
+      for (int j = i + 1; j < n(); ++j) {
+        if (cluster_.replica(j).crashed()) continue;
+        const auto upto = std::min(cluster_.replica(i).applied_upto(),
+                                   cluster_.replica(j).applied_upto());
+        const auto& a = cluster_.replica(i).batches();
+        const auto& b = cluster_.replica(j).batches();
+        for (BatchNumber k = 1; k <= upto; ++k) {
+          const auto ia = a.find(k);
+          const auto ib = b.find(k);
+          if (ia == a.end() || ib == b.end() || ia->second != ib->second) {
+            std::ostringstream os;
+            os << "chtread: applied batch " << k << " differs between p" << i
+               << " and p" << j;
+            violations.push_back(os.str());
+          }
+        }
+      }
+    }
+    return violations;
+  }
+
+  std::int64_t leadership_changes() override {
+    std::int64_t total = 0;
+    for (int i = 0; i < n(); ++i) {
+      total += cluster_.replica(i).stats().became_leader;
+    }
+    return total;
+  }
+
+ private:
+  harness::Cluster cluster_;
+};
+
+// --- Raft (both read modes) ------------------------------------------------
+
+class RaftAdapter final : public ClusterAdapter {
+ public:
+  RaftAdapter(const RunSpec& spec,
+              std::shared_ptr<const object::ObjectModel> model,
+              raft::ReadMode mode)
+      : name_(mode == raft::ReadMode::kLeaderLease ? "raft-lease" : "raft"),
+        cluster_(cluster_config(spec), std::move(model), mode) {}
+
+  const std::string& protocol() const override { return name_; }
+  sim::Simulation& sim() override { return cluster_.sim(); }
+  int n() const override { return cluster_.n(); }
+  const object::ObjectModel& model() const override { return cluster_.model(); }
+  checker::HistoryRecorder& history() override { return cluster_.history(); }
+  void submit(int process, object::Operation op) override {
+    cluster_.submit(process, std::move(op));
+  }
+  bool crashed(int process) const override {
+    return const_cast<harness::RaftCluster&>(cluster_)
+        .replica(process)
+        .crashed();
+  }
+  int leader() override { return cluster_.leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return cluster_.await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return cluster_.submitted(); }
+  std::size_t completed() const override { return cluster_.completed(); }
+
+  std::vector<std::string> protocol_invariants() override {
+    std::vector<std::string> violations;
+    // Election safety: at most one leader per term across survivors.
+    std::map<std::int64_t, int> leaders_per_term;
+    for (int i = 0; i < n(); ++i) {
+      auto& r = cluster_.replica(i);
+      if (!r.crashed() && r.role() == raft::RaftReplica::Role::kLeader) {
+        if (++leaders_per_term[r.term()] > 1) {
+          violations.push_back("raft: two leaders in term " +
+                               std::to_string(r.term()));
+        }
+      }
+    }
+    // Log matching on the committed prefix across survivors.
+    for (int i = 0; i < n(); ++i) {
+      if (cluster_.replica(i).crashed()) continue;
+      for (int j = i + 1; j < n(); ++j) {
+        if (cluster_.replica(j).crashed()) continue;
+        const auto& a = cluster_.replica(i).log();
+        const auto& b = cluster_.replica(j).log();
+        const std::int64_t upto = std::min(cluster_.replica(i).commit_index(),
+                                           cluster_.replica(j).commit_index());
+        for (std::int64_t k = 0; k < upto; ++k) {
+          if (a.at(static_cast<std::size_t>(k)) !=
+              b.at(static_cast<std::size_t>(k))) {
+            std::ostringstream os;
+            os << "raft: committed log divergence at index " << k + 1
+               << " between p" << i << " and p" << j;
+            violations.push_back(os.str());
+          }
+        }
+      }
+    }
+    return violations;
+  }
+
+  std::int64_t leadership_changes() override {
+    std::int64_t total = 0;
+    for (int i = 0; i < n(); ++i) {
+      total += cluster_.replica(i).stats().terms_won;
+    }
+    return total;
+  }
+
+ private:
+  std::string name_;
+  harness::RaftCluster cluster_;
+};
+
+// --- Viewstamped Replication -----------------------------------------------
+
+class VrAdapter final : public ClusterAdapter {
+ public:
+  VrAdapter(const RunSpec& spec,
+            std::shared_ptr<const object::ObjectModel> model)
+      : cluster_(cluster_config(spec), std::move(model)) {}
+
+  const std::string& protocol() const override {
+    static const std::string kName = "vr";
+    return kName;
+  }
+  sim::Simulation& sim() override { return cluster_.sim(); }
+  int n() const override { return cluster_.n(); }
+  const object::ObjectModel& model() const override { return cluster_.model(); }
+  checker::HistoryRecorder& history() override { return cluster_.history(); }
+  void submit(int process, object::Operation op) override {
+    cluster_.submit(process, std::move(op));
+  }
+  bool crashed(int process) const override {
+    return const_cast<harness::VrCluster&>(cluster_).replica(process).crashed();
+  }
+  int leader() override { return cluster_.primary(); }
+  bool await_quiesce(Duration timeout) override {
+    return cluster_.await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return cluster_.submitted(); }
+  std::size_t completed() const override { return cluster_.completed(); }
+
+  std::vector<std::string> protocol_invariants() override {
+    std::vector<std::string> violations;
+    // At most one normal-status primary per view across survivors.
+    std::map<std::int64_t, int> primaries_per_view;
+    for (int i = 0; i < n(); ++i) {
+      auto& r = cluster_.replica(i);
+      if (!r.crashed() && r.is_primary()) {
+        if (++primaries_per_view[r.view()] > 1) {
+          violations.push_back("vr: two primaries in view " +
+                               std::to_string(r.view()));
+        }
+      }
+    }
+    // Committed log prefixes agree across survivors.
+    for (int i = 0; i < n(); ++i) {
+      if (cluster_.replica(i).crashed()) continue;
+      for (int j = i + 1; j < n(); ++j) {
+        if (cluster_.replica(j).crashed()) continue;
+        const auto& a = cluster_.replica(i).log();
+        const auto& b = cluster_.replica(j).log();
+        const std::int64_t upto = std::min(cluster_.replica(i).commit_number(),
+                                           cluster_.replica(j).commit_number());
+        for (std::int64_t k = 0; k < upto; ++k) {
+          if (!(a.at(static_cast<std::size_t>(k)) ==
+                b.at(static_cast<std::size_t>(k)))) {
+            std::ostringstream os;
+            os << "vr: committed prefix divergence at " << k + 1
+               << " between p" << i << " and p" << j;
+            violations.push_back(os.str());
+          }
+        }
+      }
+    }
+    return violations;
+  }
+
+  std::int64_t leadership_changes() override {
+    std::int64_t total = 0;
+    for (int i = 0; i < n(); ++i) {
+      total += cluster_.replica(i).stats().views_led;
+    }
+    return total;
+  }
+
+ private:
+  harness::VrCluster cluster_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& known_protocols() {
+  static const std::vector<std::string> kProtocols = {"chtread", "raft",
+                                                      "raft-lease", "vr"};
+  return kProtocols;
+}
+
+const std::vector<std::string>& known_objects() {
+  static const std::vector<std::string> kObjects = {"kv", "counter", "bank",
+                                                    "queue", "lock"};
+  return kObjects;
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  // splitmix64 over (seed, stream): independent streams per component.
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + stream;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::shared_ptr<const object::ObjectModel> make_object_model(
+    const std::string& name) {
+  if (name == "kv") return std::make_shared<object::KVObject>();
+  if (name == "counter") return std::make_shared<object::CounterObject>();
+  if (name == "bank") return std::make_shared<object::BankObject>();
+  if (name == "queue") return std::make_shared<object::QueueObject>();
+  if (name == "lock") return std::make_shared<object::LockObject>();
+  CHT_ASSERT(false, "unknown object model");
+  return nullptr;
+}
+
+std::unique_ptr<ClusterAdapter> make_adapter(const RunSpec& spec) {
+  auto model = make_object_model(spec.object);
+  if (spec.protocol == "chtread") {
+    return std::make_unique<ChtreadAdapter>(spec, std::move(model));
+  }
+  if (spec.protocol == "raft") {
+    return std::make_unique<RaftAdapter>(spec, std::move(model),
+                                         raft::ReadMode::kReadIndex);
+  }
+  if (spec.protocol == "raft-lease") {
+    return std::make_unique<RaftAdapter>(spec, std::move(model),
+                                         raft::ReadMode::kLeaderLease);
+  }
+  if (spec.protocol == "vr") {
+    return std::make_unique<VrAdapter>(spec, std::move(model));
+  }
+  CHT_ASSERT(false, "unknown protocol");
+  return nullptr;
+}
+
+}  // namespace cht::chaos

@@ -1,0 +1,75 @@
+// ClusterAdapter: one uniform surface over every protocol stack the chaos
+// subsystem can torture — the paper's algorithm (harness::Cluster), the Raft
+// baseline in both read modes (harness::RaftCluster) and Viewstamped
+// Replication (harness::VrCluster).
+//
+// The nemesis, workload driver, seed sweeper and invariant registry are all
+// written against this interface, so a fault schedule or a safety check is
+// authored once and exercises all four stacks identically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+#include "chaos/spec.h"
+#include "common/time.h"
+#include "object/object.h"
+#include "sim/simulation.h"
+
+namespace cht::chaos {
+
+class ClusterAdapter {
+ public:
+  virtual ~ClusterAdapter() = default;
+
+  virtual const std::string& protocol() const = 0;
+  virtual sim::Simulation& sim() = 0;
+  virtual int n() const = 0;
+  virtual const object::ObjectModel& model() const = 0;
+  virtual checker::HistoryRecorder& history() = 0;
+
+  // Submits a client operation via process `process`, recording it in the
+  // history (reads and RMWs routed per the protocol's client API).
+  virtual void submit(int process, object::Operation op) = 0;
+
+  virtual bool crashed(int process) const = 0;
+
+  // The protocol's current notion of "the leader": steady leader (chtread),
+  // highest-term leader (raft), normal-status primary (vr); -1 if none.
+  // The leader-hunter nemesis profile targets whoever this returns.
+  virtual int leader() = 0;
+
+  virtual bool await_quiesce(Duration timeout) = 0;
+  virtual std::size_t submitted() const = 0;
+  virtual std::size_t completed() const = 0;
+
+  // Protocol-specific safety invariants, evaluated against final replica
+  // state (election safety, committed-prefix agreement, ...). Returns
+  // human-readable violation descriptions; empty means all hold.
+  virtual std::vector<std::string> protocol_invariants() = 0;
+
+  // Total leadership acquisitions (reigns begun / terms won / views led)
+  // across the cluster — a cheap "how eventful was this run" metric.
+  virtual std::int64_t leadership_changes() = 0;
+
+  void run_for(Duration d) { sim().run_until(sim().now() + d); }
+};
+
+// Builds the adapter named by spec.protocol (see known_protocols()) over the
+// object model named by spec.object. Asserts on unknown names.
+std::unique_ptr<ClusterAdapter> make_adapter(const RunSpec& spec);
+
+// Optional decorator applied to a freshly built adapter before a run; lets
+// tests interpose on the submit path (see evil.h) without the chaos library
+// linking any fault-injection-into-ourselves code.
+using AdapterHook =
+    std::function<std::unique_ptr<ClusterAdapter>(std::unique_ptr<ClusterAdapter>)>;
+
+// Builds the ObjectModel named by spec.object (kv|counter|bank|queue|lock).
+std::shared_ptr<const object::ObjectModel> make_object_model(
+    const std::string& name);
+
+}  // namespace cht::chaos

@@ -1,0 +1,26 @@
+#include "chaos/evil.h"
+
+namespace cht::chaos {
+
+EvilAdapter::EvilAdapter(std::unique_ptr<ClusterAdapter> inner,
+                         int stale_every)
+    : inner_(std::move(inner)), stale_every_(stale_every) {
+  frozen_state_ = model().make_initial_state();
+}
+
+void EvilAdapter::submit(int process, object::Operation op) {
+  if (model().is_read(op) && ++reads_seen_ % stale_every_ == 0) {
+    // The injected bug: answer instantly from the state as of applied index
+    // 0, ignoring everything the cluster has committed since.
+    const auto token =
+        history().begin(ProcessId(process), op, sim().now());
+    auto snapshot = frozen_state_->clone();
+    const object::Response response = model().apply(*snapshot, op);
+    history().end(token, response, sim().now());
+    ++stale_served_;
+    return;
+  }
+  inner_->submit(process, std::move(op));
+}
+
+}  // namespace cht::chaos

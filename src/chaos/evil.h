@@ -1,0 +1,65 @@
+// Mutation self-test support: an adapter decorator that deliberately breaks
+// linearizability, so the chaos harness can prove it has teeth.
+//
+// EvilAdapter interposes on the submit path of any ClusterAdapter and serves
+// a fraction of reads from a frozen snapshot of the initial object state —
+// the classic "read from a stale applied index" bug. Any read answered this
+// way after a completed conflicting write yields a non-linearizable history
+// that the sweep MUST flag; test_chaos_mutation.cc asserts it does within a
+// bounded seed budget.
+//
+// Build-time gated: this header and evil.cc refuse to compile unless
+// CHT_CHAOS_ENABLE_EVIL is defined, and evil.cc is deliberately NOT part of
+// the cht_chaos library — only the mutation self-test target compiles it.
+#pragma once
+
+#ifndef CHT_CHAOS_ENABLE_EVIL
+#error "chaos evil mode must be enabled explicitly (-DCHT_CHAOS_ENABLE_EVIL)"
+#endif
+
+#include <memory>
+
+#include "chaos/adapter.h"
+
+namespace cht::chaos {
+
+class EvilAdapter final : public ClusterAdapter {
+ public:
+  // Serves every `stale_every`-th read from the frozen initial state.
+  EvilAdapter(std::unique_ptr<ClusterAdapter> inner, int stale_every = 3);
+
+  const std::string& protocol() const override { return inner_->protocol(); }
+  sim::Simulation& sim() override { return inner_->sim(); }
+  int n() const override { return inner_->n(); }
+  const object::ObjectModel& model() const override { return inner_->model(); }
+  checker::HistoryRecorder& history() override { return inner_->history(); }
+  void submit(int process, object::Operation op) override;
+  bool crashed(int process) const override { return inner_->crashed(process); }
+  int leader() override { return inner_->leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return inner_->await_quiesce(timeout);
+  }
+  std::size_t submitted() const override {
+    return inner_->submitted() + stale_served_;
+  }
+  std::size_t completed() const override {
+    return inner_->completed() + stale_served_;
+  }
+  std::vector<std::string> protocol_invariants() override {
+    return inner_->protocol_invariants();
+  }
+  std::int64_t leadership_changes() override {
+    return inner_->leadership_changes();
+  }
+
+  std::size_t stale_served() const { return stale_served_; }
+
+ private:
+  std::unique_ptr<ClusterAdapter> inner_;
+  int stale_every_;
+  int reads_seen_ = 0;
+  std::size_t stale_served_ = 0;
+  std::unique_ptr<object::ObjectState> frozen_state_;
+};
+
+}  // namespace cht::chaos

@@ -1,0 +1,55 @@
+#include "chaos/invariants.h"
+
+#include <sstream>
+
+#include "checker/linearizability.h"
+
+namespace cht::chaos {
+
+InvariantReport check_invariants(ClusterAdapter& cluster,
+                                 const NemesisProfile& profile, bool quiesced,
+                                 std::size_t check_budget) {
+  InvariantReport report;
+  std::vector<std::string>& violations = report.violations;
+
+  // Liveness: with every fault healed, only a crashed submitter excuses a
+  // pending operation.
+  if (!quiesced) {
+    for (const auto& op : cluster.history().ops()) {
+      if (!op.completed() && !cluster.crashed(op.process.index())) {
+        std::ostringstream os;
+        os << "liveness: " << op.op << " submitted at live " << op.process
+           << " never completed";
+        violations.push_back(os.str());
+      }
+    }
+  }
+
+  // Linearizability. Clock skew beyond epsilon may legally yield stale
+  // reads; the paper still guarantees the RMW sub-history.
+  if (profile.allows_stale_reads) {
+    const auto rmw = checker::check_rmw_subhistory_linearizable(
+        cluster.model(), cluster.history().ops(), check_budget);
+    if (!rmw.decided) {
+      report.checker_decided = false;
+    } else if (!rmw.linearizable) {
+      violations.push_back("rmw sub-history not linearizable: " +
+                           rmw.explanation);
+    }
+  } else {
+    const auto full = checker::check_linearizable(
+        cluster.model(), cluster.history().ops(), check_budget);
+    if (!full.decided) {
+      report.checker_decided = false;
+    } else if (!full.linearizable) {
+      violations.push_back("history not linearizable: " + full.explanation);
+    }
+  }
+
+  for (auto& v : cluster.protocol_invariants()) {
+    violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+}  // namespace cht::chaos

@@ -1,0 +1,40 @@
+// Invariant registry: every safety/liveness property a chaos run is held to,
+// in one place, shared by the seed sweeper, the fuzzer CLI and the ctest
+// chaos suites.
+//
+//   linearizability      full history through the object model; under
+//                        profiles that legally break read freshness (clock
+//                        skew beyond epsilon) the RMW sub-history is checked
+//                        instead (the paper's Section 1 robustness claim)
+//   liveness             after the nemesis healed every fault and the run
+//                        quiesced, an operation may remain pending only if
+//                        its submitting process crashed
+//   protocol invariants  per-stack final-state checks supplied by the
+//                        adapter: election safety / single steady leader,
+//                        committed-prefix agreement, ...
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chaos/adapter.h"
+#include "chaos/nemesis.h"
+
+namespace cht::chaos {
+
+struct InvariantReport {
+  std::vector<std::string> violations;  // empty = pass
+  // False iff the linearizability search exhausted `check_budget` before
+  // reaching a verdict: the run is neither pass nor fail on that axis.
+  bool checker_decided = true;
+};
+
+// Runs the full registry. `quiesced` is the result of await_quiesce after
+// Nemesis::stop_and_heal(); `check_budget` bounds the linearizability
+// search's explored states (0 = unlimited).
+InvariantReport check_invariants(ClusterAdapter& cluster,
+                                 const NemesisProfile& profile, bool quiesced,
+                                 std::size_t check_budget = 0);
+
+}  // namespace cht::chaos

@@ -1,0 +1,248 @@
+#include "chaos/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace cht::chaos {
+
+NemesisProfile nemesis_profile(const std::string& name, Duration delta,
+                               Duration epsilon) {
+  NemesisProfile p;
+  p.name = name;
+  p.tick_min = 15 * delta;
+  p.tick_max = 40 * delta;
+  p.partition_min = 10 * delta;
+  p.partition_max = 60 * delta;
+  p.link_delay_max = 8 * delta;
+  p.gst_shift_max = 40 * delta;
+  if (name == "calm") {
+    return p;
+  }
+  if (name == "rolling-partitions") {
+    p.w_partition = 1.0;
+    p.w_isolate = 0.35;
+    p.w_link_delay = 0.4;
+    p.w_gst_shift = 0.15;
+    p.w_duplicate = 0.15;
+    return p;
+  }
+  if (name == "leader-hunter") {
+    p.target_leader = true;
+    p.w_crash = 0.25;
+    p.w_isolate = 0.5;
+    p.w_partition = 0.5;
+    p.w_link_delay = 0.2;
+    p.max_crashes = 2;
+    return p;
+  }
+  if (name == "clock-storm") {
+    // Skew up to 5x epsilon: well beyond the synchrony bound, so leases can
+    // look valid too long (stale reads) or expired too early (stalls). The
+    // RMW sub-history must stay linearizable regardless.
+    p.w_clock_skew = 1.0;
+    p.w_isolate = 0.25;
+    p.w_link_delay = 0.2;
+    p.clock_skew_max = 5 * epsilon;
+    p.allows_stale_reads = true;
+    return p;
+  }
+  CHT_ASSERT(false, "unknown nemesis profile");
+  return p;
+}
+
+const std::vector<std::string>& known_profiles() {
+  static const std::vector<std::string> kProfiles = {
+      "calm", "rolling-partitions", "leader-hunter", "clock-storm"};
+  return kProfiles;
+}
+
+Nemesis::Nemesis(ClusterAdapter& cluster, NemesisProfile profile,
+                 std::uint64_t seed)
+    : cluster_(cluster), profile_(std::move(profile)), rng_(seed) {}
+
+void Nemesis::arm(Duration active_window) {
+  active_until_ = cluster_.sim().now() + active_window;
+  const double total = profile_.w_partition + profile_.w_isolate +
+                       profile_.w_crash + profile_.w_link_delay +
+                       profile_.w_clock_skew + profile_.w_gst_shift +
+                       profile_.w_duplicate;
+  if (total <= 0) return;  // calm: nothing to schedule
+  tick_timer_ = cluster_.sim().after(
+      Duration::micros(rng_.next_in(profile_.tick_min.to_micros(),
+                                    profile_.tick_max.to_micros())),
+      [this] { tick(); });
+}
+
+void Nemesis::tick() {
+  if (cluster_.sim().now() >= active_until_) return;
+  act();
+  tick_timer_ = cluster_.sim().after(
+      Duration::micros(rng_.next_in(profile_.tick_min.to_micros(),
+                                    profile_.tick_max.to_micros())),
+      [this] { tick(); });
+}
+
+int Nemesis::pick_victim() {
+  if (profile_.target_leader) {
+    const int leader = cluster_.leader();
+    if (leader >= 0) return leader;
+  }
+  return static_cast<int>(rng_.next_below(
+      static_cast<std::uint64_t>(cluster_.n())));
+}
+
+void Nemesis::note(const std::string& line) {
+  std::ostringstream os;
+  os << cluster_.sim().now().to_millis_f() << "ms  " << line;
+  log_.push_back(os.str());
+}
+
+void Nemesis::act() {
+  const double weights[] = {profile_.w_partition, profile_.w_isolate,
+                            profile_.w_crash,     profile_.w_link_delay,
+                            profile_.w_clock_skew, profile_.w_gst_shift,
+                            profile_.w_duplicate};
+  double total = 0;
+  for (double w : weights) total += w;
+  double draw = rng_.next_double() * total;
+  int action = 0;
+  while (action < 6 && draw >= weights[action]) {
+    draw -= weights[action];
+    ++action;
+  }
+
+  sim::Simulation& sim = cluster_.sim();
+  const int n = cluster_.n();
+  const int a = pick_victim();
+  int b = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(n - 1)));
+  if (b >= a) ++b;
+
+  switch (action) {
+    case 0: {  // directed partition with heal
+      const bool both_ways = rng_.next_bool(0.5);
+      const Duration hold = Duration::micros(rng_.next_in(
+          profile_.partition_min.to_micros(), profile_.partition_max.to_micros()));
+      cut_links_.insert({a, b});
+      sim.network().set_link_down(ProcessId(a), ProcessId(b), true);
+      if (both_ways) {
+        cut_links_.insert({b, a});
+        sim.network().set_link_down(ProcessId(b), ProcessId(a), true);
+      }
+      note("partition p" + std::to_string(a) +
+           (both_ways ? " <-> p" : " -> p") + std::to_string(b) + " for " +
+           std::to_string(hold.to_millis_f()) + "ms");
+      sim.after(hold, [this, a, b, both_ways] {
+        if (cut_links_.erase({a, b}) > 0) {
+          cluster_.sim().network().set_link_down(ProcessId(a), ProcessId(b),
+                                                 false);
+        }
+        if (both_ways && cut_links_.erase({b, a}) > 0) {
+          cluster_.sim().network().set_link_down(ProcessId(b), ProcessId(a),
+                                                 false);
+        }
+        note("heal p" + std::to_string(a) + " / p" + std::to_string(b));
+      });
+      break;
+    }
+    case 1: {  // full isolation with heal
+      if (isolated_.contains(a)) break;
+      const Duration hold = Duration::micros(rng_.next_in(
+          profile_.partition_min.to_micros(), profile_.partition_max.to_micros()));
+      isolated_.insert(a);
+      sim.network().set_process_isolated(ProcessId(a), true, n);
+      note("isolate p" + std::to_string(a) + " for " +
+           std::to_string(hold.to_millis_f()) + "ms");
+      sim.after(hold, [this, a, n] {
+        if (isolated_.erase(a) > 0) {
+          cluster_.sim().network().set_process_isolated(ProcessId(a), false, n);
+          note("deisolate p" + std::to_string(a));
+        }
+      });
+      break;
+    }
+    case 2: {  // crash, bounded to a minority
+      const int budget = std::min(profile_.max_crashes, (n - 1) / 2);
+      if (crashes_ >= budget || cluster_.crashed(a)) break;
+      ++crashes_;
+      sim.crash(ProcessId(a));
+      note("crash p" + std::to_string(a));
+      break;
+    }
+    case 3: {  // one-shot link delay
+      const Duration extra = Duration::micros(
+          rng_.next_in(0, profile_.link_delay_max.to_micros()));
+      sim.network().add_link_delay(ProcessId(a), ProcessId(b), extra);
+      note("delay p" + std::to_string(a) + " -> p" + std::to_string(b) +
+           " by " + std::to_string(extra.to_millis_f()) + "ms");
+      break;
+    }
+    case 4: {  // clock-offset bump
+      const std::int64_t bound = profile_.clock_skew_max.to_micros();
+      if (bound == 0) break;
+      const Duration offset = Duration::micros(rng_.next_in(-bound, bound));
+      skewed_.insert(a);
+      sim.set_clock_offset(ProcessId(a), offset);
+      note("clock p" + std::to_string(a) + " offset " +
+           std::to_string(offset.to_millis_f()) + "ms");
+      break;
+    }
+    case 5: {  // GST shift: re-open the asynchronous period
+      const Duration shift = Duration::micros(
+          rng_.next_in(0, profile_.gst_shift_max.to_micros()));
+      const RealTime new_gst = sim.now() + shift;
+      if (new_gst > sim.network().config().gst) {
+        sim.network().set_gst(new_gst);
+        note("gst shift to " + std::to_string(new_gst.to_millis_f()) + "ms");
+      }
+      break;
+    }
+    default: {  // duplication burst (bites while the network is pre-GST)
+      if (duplication_on_) break;
+      duplication_on_ = true;
+      sim.network().set_pre_gst_duplicate_probability(0.3);
+      const Duration hold = Duration::micros(rng_.next_in(
+          profile_.partition_min.to_micros(), profile_.partition_max.to_micros()));
+      note("duplication on for " + std::to_string(hold.to_millis_f()) + "ms");
+      sim.after(hold, [this] {
+        if (duplication_on_) {
+          duplication_on_ = false;
+          cluster_.sim().network().set_pre_gst_duplicate_probability(0.0);
+          note("duplication off");
+        }
+      });
+      break;
+    }
+  }
+}
+
+void Nemesis::stop_and_heal() {
+  active_until_ = cluster_.sim().now();
+  tick_timer_.cancel();
+  sim::Simulation& sim = cluster_.sim();
+  for (const auto& [from, to] : cut_links_) {
+    sim.network().set_link_down(ProcessId(from), ProcessId(to), false);
+  }
+  cut_links_.clear();
+  for (int p : isolated_) {
+    sim.network().set_process_isolated(ProcessId(p), false, cluster_.n());
+  }
+  isolated_.clear();
+  for (int p : skewed_) {
+    // Zero is within epsilon/2 of real time, hence within epsilon of every
+    // untouched clock; monotonicity clamping absorbs backward moves.
+    sim.set_clock_offset(ProcessId(p), Duration::zero());
+  }
+  skewed_.clear();
+  if (duplication_on_) {
+    duplication_on_ = false;
+    sim.network().set_pre_gst_duplicate_probability(0.0);
+  }
+  if (sim.network().config().gst > sim.now()) {
+    sim.network().set_gst(sim.now());
+  }
+  note("nemesis stopped; all faults healed");
+}
+
+}  // namespace cht::chaos

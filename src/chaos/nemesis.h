@@ -1,0 +1,107 @@
+// Nemesis: composes fault actions over simulated time, driven only by a
+// seed-derived random stream, so a fault schedule is a pure function of the
+// RunSpec. Actions cover the full injection surface of the simulator:
+//
+//   crash            kill a process (bounded: always leaves a majority)
+//   partition        directed link cut, healed after a drawn duration
+//   isolate          cut a process off entirely, healed later
+//   link delay       one-shot extra delay on a directed link
+//   clock skew       clock-offset bump, within or beyond epsilon
+//   gst shift        push GST into the future (re-opens asynchrony)
+//   duplication      raise the pre-GST duplicate probability for a while
+//
+// Intensity profiles weight these actions. "leader-hunter" resolves its
+// victim at fire time via ClusterAdapter::leader(), so it chases leadership
+// wherever it moves. Every action is appended to a human-readable schedule
+// log that repro artifacts embed verbatim.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/adapter.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cht::chaos {
+
+struct NemesisProfile {
+  std::string name;
+
+  // Time between fault decisions.
+  Duration tick_min = Duration::millis(150);
+  Duration tick_max = Duration::millis(400);
+
+  // Per-tick action weights (relative; all zero = no faults).
+  double w_partition = 0;
+  double w_isolate = 0;
+  double w_crash = 0;
+  double w_link_delay = 0;
+  double w_clock_skew = 0;
+  double w_gst_shift = 0;
+  double w_duplicate = 0;
+
+  // Fault shaping.
+  Duration partition_min = Duration::millis(100);
+  Duration partition_max = Duration::millis(600);
+  Duration link_delay_max = Duration::millis(80);
+  // Clock offsets are drawn uniformly in [-clock_skew_max, clock_skew_max];
+  // beyond epsilon this knowingly breaks the paper's synchrony assumption.
+  Duration clock_skew_max = Duration::zero();
+  Duration gst_shift_max = Duration::millis(400);
+  int max_crashes = 0;  // additionally clamped to a minority of n
+  // Aim faults at whoever leader() currently returns.
+  bool target_leader = false;
+
+  // Reads may legitimately return stale values under this profile (clock
+  // skew beyond epsilon): the invariant registry then checks the RMW
+  // sub-history instead of the full history (paper Section 1 robustness).
+  bool allows_stale_reads = false;
+};
+
+// Built-in profiles, scaled to the run's delta/epsilon:
+// "calm", "rolling-partitions", "leader-hunter", "clock-storm".
+NemesisProfile nemesis_profile(const std::string& name, Duration delta,
+                               Duration epsilon);
+
+class Nemesis {
+ public:
+  Nemesis(ClusterAdapter& cluster, NemesisProfile profile, std::uint64_t seed);
+
+  // Schedules fault ticks from now until now + active_window. Call once,
+  // before driving the workload.
+  void arm(Duration active_window);
+
+  // Ends the chaos: cancels pending ticks, heals all partitions and
+  // isolation, restores clock offsets and duplication, and pulls GST back to
+  // "stabilized now" if an earlier shift pushed it past the present. Crashed
+  // processes stay crashed (crash-stop model).
+  void stop_and_heal();
+
+  const std::vector<std::string>& schedule_log() const { return log_; }
+  int crashes() const { return crashes_; }
+
+ private:
+  void tick();
+  void act();
+  int pick_victim();
+  void note(const std::string& line);
+
+  ClusterAdapter& cluster_;
+  NemesisProfile profile_;
+  Rng rng_;
+  RealTime active_until_ = RealTime::zero();
+  sim::EventHandle tick_timer_;
+
+  std::set<std::pair<int, int>> cut_links_;
+  std::set<int> isolated_;
+  std::set<int> skewed_;
+  int crashes_ = 0;
+  bool duplication_on_ = false;
+  std::vector<std::string> log_;
+};
+
+}  // namespace cht::chaos

@@ -1,0 +1,110 @@
+// Deterministic chaos runs and the parallel seed sweeper.
+//
+// run_one() executes one fully deterministic simulation described by a
+// RunSpec: build the protocol stack behind a ClusterAdapter, arm the
+// Nemesis, drive the workload, heal, quiesce, and evaluate the invariant
+// registry. The result carries a fingerprint (a hash of the complete
+// operation history and final simulated time); equal spec => equal
+// fingerprint, which is what `chtread_fuzz --repro` verifies.
+//
+// sweep_seeds() fans N specs (same base, consecutive seeds) across worker
+// threads. Each seed is an independent simulation with zero shared state, so
+// the sweep parallelizes perfectly; failures dump self-contained repro
+// artifacts (spec + nemesis schedule + trace tail + history) that
+// load_artifact() turns back into an exact replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/adapter.h"
+#include "chaos/spec.h"
+
+namespace cht::chaos {
+
+struct RunResult {
+  RunSpec spec;
+  bool quiesced = false;
+  // False iff the linearizability search exhausted spec.check_budget; the
+  // run then counts as neither pass nor fail on that axis (surfaced in the
+  // CLI summary so undecided seeds are never silently dropped).
+  bool checker_decided = true;
+  std::vector<std::string> violations;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  // Total leadership acquisitions across the cluster (elections won /
+  // reigns begun) — the "how eventful was this seed" metric used to pick
+  // corpus seeds.
+  std::int64_t leadership_changes = 0;
+  int crashes = 0;
+  std::string fingerprint;
+  std::vector<std::string> nemesis_schedule;
+  std::vector<std::string> trace_tail;
+  // The complete recorded history, one formatted line per operation.
+  std::vector<std::string> history;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs one deterministic simulation. `hook` optionally decorates the adapter
+// (see AdapterHook); the default runs the stack unmodified.
+RunResult run_one(const RunSpec& spec, const AdapterHook& hook = nullptr);
+
+// --- Repro artifacts --------------------------------------------------------
+
+// Writes a self-contained artifact for a (typically failing) run.
+// Returns false on I/O failure.
+bool write_artifact(const std::string& path, const RunResult& result);
+
+// Parses an artifact back into the spec it was produced from, plus the
+// fingerprint recorded at dump time. Returns nullopt on parse failure.
+struct Artifact {
+  RunSpec spec;
+  std::string fingerprint;
+};
+std::optional<Artifact> load_artifact(const std::string& path);
+
+// --- Parallel seed sweep ----------------------------------------------------
+
+struct SweepOptions {
+  int threads = 0;                 // 0 = hardware concurrency
+  std::string artifact_dir;        // empty = do not write artifacts
+  AdapterHook hook;                // test interposition (see evil.h)
+  // Called under a lock as each seed finishes (progress reporting).
+  std::function<void(const RunResult&)> on_result;
+};
+
+struct SweepResult {
+  std::vector<RunResult> results;  // ordered by seed
+  std::vector<std::string> artifacts;
+
+  int failures() const {
+    int n = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) ++n;
+    }
+    return n;
+  }
+  int undecided() const {
+    int n = 0;
+    for (const auto& r : results) {
+      if (!r.checker_decided) ++n;
+    }
+    return n;
+  }
+  std::vector<std::uint64_t> failing_seeds() const {
+    std::vector<std::uint64_t> seeds;
+    for (const auto& r : results) {
+      if (!r.ok()) seeds.push_back(r.spec.seed);
+    }
+    return seeds;
+  }
+};
+
+SweepResult sweep_seeds(const RunSpec& base, std::uint64_t first_seed,
+                        int count, const SweepOptions& options = {});
+
+}  // namespace cht::chaos

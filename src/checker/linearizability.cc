@@ -13,8 +13,9 @@ namespace {
 
 class Search {
  public:
-  Search(const object::ObjectModel& model, std::vector<HistoryOp> history)
-      : model_(model), history_(std::move(history)) {
+  Search(const object::ObjectModel& model, std::vector<HistoryOp> history,
+         std::size_t max_states)
+      : model_(model), history_(std::move(history)), max_states_(max_states) {
     std::stable_sort(history_.begin(), history_.end(),
                      [](const HistoryOp& a, const HistoryOp& b) {
                        return a.invoked < b.invoked;
@@ -34,6 +35,14 @@ class Search {
     if (dfs(*state, 0)) {
       result.linearizable = true;
       result.order = order_;
+    } else if (budget_exhausted_) {
+      result.linearizable = false;
+      result.decided = false;
+      std::ostringstream os;
+      os << "undecided: search state budget (" << max_states_
+         << " states) exhausted; deepest progress " << best_progress_ << "/"
+         << completed_total_ << " completed ops";
+      result.explanation = os.str();
     } else {
       result.linearizable = false;
       std::ostringstream os;
@@ -70,6 +79,7 @@ class Search {
   }
 
   bool dfs(object::ObjectState& state, std::size_t base) {
+    if (budget_exhausted_) return false;
     while (base < history_.size() && linearized_[base]) ++base;
     if (completed_remaining_ == 0) return true;  // all completed ops placed
 
@@ -79,6 +89,10 @@ class Search {
     }
 
     if (!memo_.insert(memo_key(state, base)).second) return false;
+    if (max_states_ != 0 && memo_.size() >= max_states_) {
+      budget_exhausted_ = true;
+      return false;
+    }
 
     // The earliest response among non-linearized ops bounds which op may be
     // linearized next: anything invoked after that response must come later.
@@ -138,6 +152,8 @@ class Search {
   std::size_t last_linearized_ = 0;
   std::vector<std::size_t> order_;
   std::unordered_set<std::string> memo_;
+  std::size_t max_states_ = 0;
+  bool budget_exhausted_ = false;
   std::size_t best_progress_ = 0;
   std::size_t stuck_example_ = static_cast<std::size_t>(-1);
 };
@@ -145,7 +161,8 @@ class Search {
 }  // namespace
 
 LinearizabilityResult check_linearizable(const object::ObjectModel& model,
-                                         std::vector<HistoryOp> history) {
+                                         std::vector<HistoryOp> history,
+                                         std::size_t max_states) {
   // Locality (Herlihy & Wing): if every operation touches exactly one
   // sub-object, the history is linearizable iff each sub-object's
   // sub-history is. Partitioning collapses the search space dramatically
@@ -165,34 +182,38 @@ LinearizabilityResult check_linearizable(const object::ObjectModel& model,
     if (groups.size() > 1) {
       LinearizabilityResult combined;
       combined.linearizable = true;
+      LinearizabilityResult undecided;  // kept only if no group fails outright
       for (auto& [label, group] : groups) {
-        Search search(model, std::move(group));
+        Search search(model, std::move(group), max_states);
         LinearizabilityResult result = search.run();
         if (!result.linearizable) {
           result.explanation = "sub-object '" + label + "': " +
                                result.explanation;
-          return result;
+          if (result.decided) return result;  // definite failure wins
+          undecided = std::move(result);
         }
         // Note: per-group orders are not merged into a global order; callers
         // needing `order` should check unpartitioned histories.
       }
+      if (!undecided.decided) return undecided;
       return combined;
     }
     // Single group: fall through to the plain search (preserves `order`).
     history.clear();
     for (auto& [label, group] : groups) history = std::move(group);
   }
-  Search search(model, std::move(history));
+  Search search(model, std::move(history), max_states);
   return search.run();
 }
 
 LinearizabilityResult check_rmw_subhistory_linearizable(
-    const object::ObjectModel& model, const std::vector<HistoryOp>& history) {
+    const object::ObjectModel& model, const std::vector<HistoryOp>& history,
+    std::size_t max_states) {
   std::vector<HistoryOp> rmw_only;
   for (const auto& op : history) {
     if (!model.is_read(op.op)) rmw_only.push_back(op);
   }
-  return check_linearizable(model, std::move(rmw_only));
+  return check_linearizable(model, std::move(rmw_only), max_states);
 }
 
 }  // namespace cht::checker

@@ -24,18 +24,28 @@ namespace cht::checker {
 
 struct LinearizabilityResult {
   bool linearizable = false;
+  // False iff the search exhausted its state budget before reaching a
+  // verdict (then `linearizable` is false but means "unknown", not "no").
+  // Callers running unbounded searches can ignore this: it is always true.
+  bool decided = true;
   // On success: indices into the input history in linearization order
   // (pending operations that never took effect are omitted).
   std::vector<std::size_t> order;
   std::string explanation;  // on failure, a short diagnostic
 };
 
+// `max_states` bounds the number of distinct memoized search states explored
+// (0 = unlimited). The bound is a safety valve for adversarial histories
+// with huge concurrency windows (the problem is NP-complete); when it trips,
+// the result has decided == false.
 LinearizabilityResult check_linearizable(const object::ObjectModel& model,
-                                         std::vector<HistoryOp> history);
+                                         std::vector<HistoryOp> history,
+                                         std::size_t max_states = 0);
 
 // Checks only the RMW sub-history (the paper's robustness claim under clock
 // desynchronization: the execution *excluding reads* remains linearizable).
 LinearizabilityResult check_rmw_subhistory_linearizable(
-    const object::ObjectModel& model, const std::vector<HistoryOp>& history);
+    const object::ObjectModel& model, const std::vector<HistoryOp>& history,
+    std::size_t max_states = 0);
 
 }  // namespace cht::checker

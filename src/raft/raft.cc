@@ -85,6 +85,15 @@ void RaftReplica::become_leader() {
 
 void RaftReplica::on_request_vote(ProcessId from,
                                   const msg::RequestVote& request) {
+  // Leader stickiness: while we recently heard from (or were) a live leader,
+  // disregard the request entirely — not even a term bump. Required for
+  // lease-read safety and prevents a rejoining partitioned node with an
+  // inflated term from disrupting a healthy leader.
+  if (last_leader_contact_ != LocalTime::min() &&
+      now_local() < last_leader_contact_ + config_.election_timeout_min) {
+    send(from, msg::kVoteReply, msg::VoteReply{term_, false});
+    return;
+  }
   if (request.term > term_) become_follower(request.term);
   bool granted = false;
   if (request.term == term_ &&
@@ -123,6 +132,7 @@ void RaftReplica::on_vote_reply(ProcessId from, const msg::VoteReply& reply) {
 
 void RaftReplica::heartbeat_tick() {
   if (role_ != Role::kLeader) return;
+  last_leader_contact_ = now_local();  // we are the live leader
   ++probe_seq_;
   for (int i = 0; i < cluster_size(); ++i) {
     if (i == id().index()) continue;
@@ -135,8 +145,8 @@ void RaftReplica::heartbeat_tick() {
 void RaftReplica::send_append(ProcessId to) {
   const std::int64_t next = next_index_.at(to.index());
   const std::int64_t prev = next - 1;
-  msg::AppendEntries append{term_,          prev, term_at(prev), {},
-                            commit_index_,  probe_seq_};
+  msg::AppendEntries append{term_,         prev,       term_at(prev), {},
+                            commit_index_, probe_seq_, now_local()};
   for (std::int64_t i = next; i <= last_log_index(); ++i) {
     append.entries.push_back(log_.at(static_cast<std::size_t>(i - 1)));
   }
@@ -148,18 +158,21 @@ void RaftReplica::on_append_entries(ProcessId from,
   if (append.term > term_) become_follower(append.term);
   if (append.term < term_) {
     send(from, msg::kAppendReply,
-         msg::AppendReply{term_, false, last_log_index(), append.probe_seq});
+         msg::AppendReply{term_, false, last_log_index(), append.probe_seq,
+                          append.lease_stamp});
     return;
   }
   // append.term == term_: `from` is the legitimate leader of this term.
   if (role_ != Role::kFollower) become_follower(append.term);
   leader_hint_ = from;
+  last_leader_contact_ = now_local();
   reset_election_timer();
 
   if (append.prev_index > last_log_index() ||
       term_at(append.prev_index) != append.prev_term) {
     send(from, msg::kAppendReply,
-         msg::AppendReply{term_, false, last_log_index(), append.probe_seq});
+         msg::AppendReply{term_, false, last_log_index(), append.probe_seq,
+                          append.lease_stamp});
     return;
   }
   // Append, truncating conflicting suffixes.
@@ -185,7 +198,7 @@ void RaftReplica::on_append_entries(ProcessId from,
        msg::AppendReply{term_, true,
                         append.prev_index +
                             static_cast<std::int64_t>(append.entries.size()),
-                        append.probe_seq});
+                        append.probe_seq, append.lease_stamp});
 }
 
 void RaftReplica::on_append_reply(ProcessId from,
@@ -197,7 +210,9 @@ void RaftReplica::on_append_reply(ProcessId from,
   if (role_ != Role::kLeader || reply.term != term_) return;
   const int f = from.index();
   probe_acked_[f] = std::max(probe_acked_[f], reply.probe_seq);
-  last_ack_local_[f] = std::max(last_ack_local_[f], now_local());
+  // The echoed stamp is when we *sent* the round this follower is acking —
+  // the latest provable lower bound on its election-timer reset.
+  last_ack_local_[f] = std::max(last_ack_local_[f], reply.lease_stamp);
   if (reply.success) {
     match_index_[f] = std::max(match_index_[f], reply.match_index);
     next_index_[f] = match_index_[f] + 1;
@@ -338,9 +353,12 @@ void RaftReplica::on_client_read(ProcessId from, const msg::ClientRead& read) {
 }
 
 bool RaftReplica::lease_valid() {
-  // The leader holds a read lease until (quorum-th most recent follower ack)
-  // + election_timeout_min: no new leader can be elected before then, since
-  // a majority heard from us within the minimum election timeout.
+  // The leader holds a read lease until (send time of the quorum-th most
+  // recently acked heartbeat round) + election_timeout_min. Followers
+  // disregard votes within election_timeout_min of leader contact, so every
+  // electing majority intersects the acking quorum in a replica that cannot
+  // vote before this lease expires (local clocks advance at rate 1, so
+  // cross-clock duration arithmetic is exact).
   std::vector<LocalTime> acks;
   for (int i = 0; i < cluster_size(); ++i) {
     if (i != id().index()) acks.push_back(last_ack_local_[i]);

@@ -94,6 +94,11 @@ struct AppendEntries {
   std::vector<LogEntry> entries;
   std::int64_t leader_commit;
   std::int64_t probe_seq;  // ReadIndex confirmation round
+  // Leader-local send time, echoed back in AppendReply. The read lease must
+  // anchor at the time a heartbeat round was *sent*: the ack's receive time
+  // overestimates how recently the follower reset its election timer by the
+  // reply's flight time, which is unbounded before GST.
+  LocalTime lease_stamp;
 };
 
 struct AppendReply {
@@ -101,6 +106,7 @@ struct AppendReply {
   bool success;
   std::int64_t match_index;  // on success; on failure, follower's log length
   std::int64_t probe_seq;
+  LocalTime lease_stamp;  // echoed from the AppendEntries being answered
 };
 
 struct ClientRmw {
@@ -221,6 +227,12 @@ class RaftReplica : public sim::Process {
   std::int64_t last_applied_ = 0;
   std::unique_ptr<object::ObjectState> state_;
   sim::EventHandle election_timer_;
+  // Last time (local clock) this replica heard from a live leader of the
+  // current term — or, on the leader itself, sent a heartbeat round. Votes
+  // are disregarded within election_timeout_min of it (leader stickiness,
+  // Raft thesis sec. 6.4.1): granting earlier could elect a new leader
+  // inside the old leader's read lease.
+  LocalTime last_leader_contact_ = LocalTime::min();
 
   // Leader state.
   std::vector<std::int64_t> next_index_;

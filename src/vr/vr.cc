@@ -54,6 +54,10 @@ void VrReplica::on_prepare(ProcessId from, const msg::Prepare& prepare) {
   if (prepare.view < view_) return;
   if (prepare.view > view_ || status_ != Status::kNormal) {
     // We are behind: transfer state from the sender (the newer primary).
+    // Entries beyond our commit point may conflict with the newer view's log
+    // (e.g. we were an isolated primary still appending); drop them before
+    // asking for the suffix (VR Revisited sec. 5.2).
+    truncate_uncommitted_tail();
     send(from, msg::kGetState, msg::GetState{prepare.view, op_number()});
     return;
   }
@@ -96,6 +100,7 @@ void VrReplica::on_prepare_ok(ProcessId from, const msg::PrepareOk& ok) {
 void VrReplica::on_commit(ProcessId from, const msg::Commit& commit) {
   if (commit.view < view_) return;
   if (commit.view > view_ || status_ != Status::kNormal) {
+    truncate_uncommitted_tail();
     send(from, msg::kGetState, msg::GetState{commit.view, op_number()});
     return;
   }
@@ -290,14 +295,18 @@ void VrReplica::on_get_state(ProcessId from, const msg::GetState& m) {
 
 void VrReplica::on_new_state(const msg::NewState& m) {
   if (m.view < view_) return;
-  const std::int64_t first =
-      m.op_number - static_cast<std::int64_t>(m.suffix.size()) + 1;
-  if (first > op_number() + 1) return;  // still a gap; retries will fill
   if (m.view > view_ || status_ != Status::kNormal) {
+    // Crossing into a newer view: our uncommitted tail may hold different
+    // operations at the op-numbers the new view committed. Only the committed
+    // prefix is guaranteed to be a prefix of the sender's log.
+    truncate_uncommitted_tail();
     view_ = m.view;
     status_ = Status::kNormal;
     last_normal_view_ = view_;
   }
+  const std::int64_t first =
+      m.op_number - static_cast<std::int64_t>(m.suffix.size()) + 1;
+  if (first > op_number() + 1) return;  // still a gap; retries will fill
   for (std::int64_t i = first; i <= m.op_number; ++i) {
     if (i <= op_number()) continue;
     const auto& entry = m.suffix.at(static_cast<std::size_t>(i - first));
@@ -306,6 +315,13 @@ void VrReplica::on_new_state(const msg::NewState& m) {
   }
   advance_commit(std::min(m.commit_number, op_number()));
   reset_view_timer();
+}
+
+void VrReplica::truncate_uncommitted_tail() {
+  while (static_cast<std::int64_t>(log_.size()) > commit_number_) {
+    ids_in_log_.erase(log_.back().id);
+    log_.pop_back();
+  }
 }
 
 // ===========================================================================

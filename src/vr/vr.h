@@ -189,6 +189,7 @@ class VrReplica : public sim::Process {
   // State transfer.
   void on_get_state(ProcessId from, const msg::GetState& m);
   void on_new_state(const msg::NewState& m);
+  void truncate_uncommitted_tail();
 
   // Clients. A submitting process completes its own operation when it
   // applies the corresponding log entry (clients are colocated with

@@ -1,0 +1,95 @@
+// Pinned seed corpus: chaos runs that once exposed real protocol bugs, or
+// that are unusually eventful, replayed on every ctest run as regression
+// guards. Each entry records why it earned its place; if one of these cells
+// regresses, `chtread_fuzz --protocol=<p> --profile=<f> --object=<o>
+// --seed-start=<s> --seeds=1 --artifact-dir=...` reproduces it exactly.
+//
+// The corpus also doubles as a determinism regression: every entry is run
+// twice and must produce bit-identical fingerprints, which is the property
+// the whole repro workflow rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/spec.h"
+#include "chaos/sweep.h"
+
+namespace cht::chaos {
+namespace {
+
+struct CorpusEntry {
+  std::string protocol;
+  std::string profile;
+  std::string object;
+  std::uint64_t seed;
+  const char* why;
+};
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> entries{
+      // These three exposed the missing uncommitted-tail truncation on
+      // view-crossing state transfer in vr.cc (VR Revisited Section 5.2):
+      // committed-prefix divergence plus stale reads from a deposed primary.
+      {"vr", "leader-hunter", "kv", 2, "vr state-transfer truncation bug"},
+      {"vr", "leader-hunter", "kv", 5, "vr state-transfer truncation bug"},
+      {"vr", "leader-hunter", "kv", 8, "vr state-transfer truncation bug"},
+      // Same root cause surfaced through a different fault mix.
+      {"vr", "clock-storm", "kv", 6, "vr state-transfer truncation bug"},
+      {"vr", "clock-storm", "kv", 9, "vr state-transfer truncation bug"},
+      // Exposed two raft-lease read bugs at once: the lease anchored at ack
+      // *receive* time (overestimates by the reply flight time) and missing
+      // leader stickiness (a partitioned node's vote request deposed the
+      // leader inside its own lease window). A deposed-but-leased leader
+      // served a stale read.
+      {"raft-lease", "rolling-partitions", "kv", 144,
+       "raft-lease anchor + stickiness stale read"},
+      // High-churn seeds (many leadership changes) for the remaining stacks,
+      // picked from sweep metrics: eventful but historically clean.
+      {"chtread", "leader-hunter", "bank", 7, "high-churn coverage"},
+      {"chtread", "rolling-partitions", "queue", 17, "high-churn coverage"},
+      {"raft", "leader-hunter", "counter", 11, "high-churn coverage"},
+      {"raft", "rolling-partitions", "lock", 29, "high-churn coverage"},
+  };
+  return entries;
+}
+
+class ChaosCorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(ChaosCorpusTest, PinnedSeedStaysClean) {
+  const CorpusEntry& entry = GetParam();
+  RunSpec spec;
+  spec.protocol = entry.protocol;
+  spec.profile = entry.profile;
+  spec.object = entry.object;
+  spec.seed = entry.seed;
+  spec.ops = 40;
+
+  const RunResult first = run_one(spec);
+  EXPECT_TRUE(first.checker_decided) << entry.why;
+  std::string all;
+  for (const auto& v : first.violations) all += "\n  " + v;
+  EXPECT_TRUE(first.ok()) << entry.why << " regressed:" << all;
+  EXPECT_GT(first.completed, 0u);
+
+  // Bit-identical replay: the exact property `chtread_fuzz --repro` checks.
+  const RunResult second = run_one(spec);
+  EXPECT_EQ(first.fingerprint, second.fingerprint)
+      << "determinism broke: same spec, different fingerprint";
+}
+
+std::string entry_name(const ::testing::TestParamInfo<CorpusEntry>& info) {
+  std::string name = info.param.protocol + "_" + info.param.profile + "_" +
+                     info.param.object + "_seed" +
+                     std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ChaosCorpusTest,
+                         ::testing::ValuesIn(corpus()), entry_name);
+
+}  // namespace
+}  // namespace cht::chaos

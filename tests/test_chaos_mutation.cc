@@ -1,0 +1,87 @@
+// Mutation self-test: prove the chaos harness has teeth by injecting a known
+// linearizability bug and asserting the sweep catches it.
+//
+// This binary is the ONLY place src/chaos/evil.cc is compiled (behind
+// -DCHT_CHAOS_ENABLE_EVIL, set on this target alone in tests/CMakeLists.txt).
+// The EvilAdapter decorator serves every third read from a frozen snapshot of
+// the initial object state — the classic "read at a stale applied index" bug.
+// A test harness that cannot flag that within a handful of seeds would also
+// miss the real thing, so detection failures here fail the build.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "chaos/evil.h"
+#include "chaos/spec.h"
+#include "chaos/sweep.h"
+
+namespace cht::chaos {
+namespace {
+
+RunSpec mutation_spec(const std::string& protocol) {
+  RunSpec spec;
+  spec.protocol = protocol;
+  // A calm profile on purpose: with no faults in play, every violation the
+  // checker reports is attributable to the injected mutation, and the control
+  // sweep below is expected to be perfectly clean.
+  spec.profile = "calm";
+  spec.object = "kv";
+  spec.ops = 30;
+  return spec;
+}
+
+constexpr std::uint64_t kFirstSeed = 1;
+constexpr int kSeedBudget = 8;
+
+TEST(ChaosMutationTest, SweepDetectsInjectedStaleReads) {
+  for (const auto& protocol : known_protocols()) {
+    SweepOptions options;
+    options.threads = 2;
+    options.hook = [](std::unique_ptr<ClusterAdapter> inner) {
+      return std::make_unique<EvilAdapter>(std::move(inner), /*stale_every=*/3);
+    };
+    const SweepResult swept =
+        sweep_seeds(mutation_spec(protocol), kFirstSeed, kSeedBudget, options);
+    EXPECT_GT(swept.failures(), 0)
+        << protocol << ": injected stale reads went undetected across "
+        << kSeedBudget << " seeds — the harness has lost its teeth";
+    // The injected failures must be *decided* verdicts, not budget blowups.
+    EXPECT_EQ(swept.undecided(), 0) << protocol;
+  }
+}
+
+TEST(ChaosMutationTest, ControlSweepWithoutMutationIsClean) {
+  // The identical sweep minus the hook: any failure here would mean the
+  // detection above could be a false positive of the harness itself.
+  for (const auto& protocol : known_protocols()) {
+    const SweepResult swept =
+        sweep_seeds(mutation_spec(protocol), kFirstSeed, kSeedBudget, {});
+    EXPECT_EQ(swept.failures(), 0) << protocol;
+    EXPECT_EQ(swept.undecided(), 0) << protocol;
+  }
+}
+
+TEST(ChaosMutationTest, ViolationNamesLinearizability) {
+  // The flagged violation should be the linearizability invariant (the bug
+  // corrupts read results, not protocol-internal state).
+  SweepOptions options;
+  options.hook = [](std::unique_ptr<ClusterAdapter> inner) {
+    return std::make_unique<EvilAdapter>(std::move(inner), /*stale_every=*/2);
+  };
+  const SweepResult swept =
+      sweep_seeds(mutation_spec("chtread"), kFirstSeed, kSeedBudget, options);
+  ASSERT_GT(swept.failures(), 0);
+  bool found = false;
+  for (const auto& result : swept.results) {
+    for (const auto& violation : result.violations) {
+      if (violation.find("linearizab") != std::string::npos) found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "stale reads were flagged, but not by the linearizability invariant";
+}
+
+}  // namespace
+}  // namespace cht::chaos

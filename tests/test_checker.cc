@@ -4,12 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include "object/bank_object.h"
 #include "object/counter_object.h"
 #include "object/register_object.h"
 
 namespace cht::checker {
 namespace {
 
+using object::BankObject;
 using object::CounterObject;
 using object::RegisterObject;
 
@@ -162,6 +164,57 @@ TEST(CheckerTest, DeepConcurrencyStillDecided) {
   // ...but seeing a value nobody wrote is rejected.
   h.back() = op(5, RegisterObject::read(), 200, 210, "9");
   EXPECT_FALSE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, CrossAccountPhantomRejected) {
+  BankObject model;
+  // A completed transfer moved 50 from a to b, yet sequential reads *after*
+  // it observe the credit on b without the debit on a — a state no single
+  // linearization point produces. Transfers span accounts, so bank histories
+  // containing them are unpartitionable and must be caught whole.
+  std::vector<HistoryOp> h{
+      op(0, BankObject::deposit("a", 100), 0, 10, "100"),
+      op(0, BankObject::transfer("a", "b", 50), 20, 30, "ok"),
+      op(1, BankObject::balance("b"), 40, 50, "50"),
+      op(1, BankObject::balance("a"), 60, 70, "100"),  // debit went missing
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+  // With the debit observed, the same history is fine.
+  h.back() = op(1, BankObject::balance("a"), 60, 70, "50");
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, TotalObservesConservationAcrossTransfers) {
+  BankObject model;
+  // total() conflicts with deposits but commutes with transfers: any value
+  // other than the deposited sum is rejected no matter how the concurrent
+  // transfer is placed.
+  std::vector<HistoryOp> h{
+      op(0, BankObject::deposit("a", 100), 0, 10, "100"),
+      op(0, BankObject::transfer("a", "b", 30), 20, 200, "ok"),
+      op(1, BankObject::total(), 50, 60, "70"),  // transfers conserve money
+  };
+  EXPECT_FALSE(check_linearizable(model, h).linearizable);
+  h.back() = op(1, BankObject::total(), 50, 60, "100");
+  EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+TEST(CheckerTest, StateBudgetYieldsUndecidedNotVerdict) {
+  RegisterObject model("0");
+  // Wide concurrency with an absurdly small budget: the search must give up
+  // explicitly (decided == false) rather than hang or claim a verdict.
+  std::vector<HistoryOp> h;
+  for (int i = 0; i < 12; ++i) {
+    h.push_back(op(i, RegisterObject::write(std::to_string(i)), 0, 100, "ok"));
+  }
+  h.push_back(op(12, RegisterObject::read(), 200, 210, "7"));
+  const auto bounded = check_linearizable(model, h, /*max_states=*/3);
+  EXPECT_FALSE(bounded.decided);
+  EXPECT_FALSE(bounded.linearizable);
+  // The same history resolves cleanly without the budget.
+  const auto unbounded = check_linearizable(model, h);
+  EXPECT_TRUE(unbounded.decided);
+  EXPECT_TRUE(unbounded.linearizable);
 }
 
 TEST(CheckerTest, LongSequentialHistoryFast) {

@@ -69,7 +69,13 @@ class RaftProtocolTest : public ::testing::Test {
     return sim_.process_as<RaftReplica>(ProcessId(4));
   }
   static ProcessId replica_id() { return ProcessId(4); }
-  void run(Duration d) { sim_.run_until(sim_.now() + d); }
+  void run(Duration d) {
+    // Anchor the target with a no-op event: run_until only advances now() by
+    // processing events, and several tests wait out real stretches of idle
+    // time (e.g. the leader-stickiness window).
+    sim_.after(d, [] {});
+    sim_.run_until(sim_.now() + d);
+  }
 
   static LogEntry entry(std::int64_t term, int proc, std::int64_t seq,
                         const std::string& value) {
@@ -108,9 +114,12 @@ TEST_F(RaftProtocolTest, RejectsVoteForStaleLog) {
   // Give the replica a log entry at term 2 via AppendEntries.
   puppet(0).send(replica_id(), raft::msg::kAppendEntries,
                  raft::msg::AppendEntries{2, 0, 0,
-                                          {entry(2, 0, 1, "x")}, 0, 0});
+                                          {entry(2, 0, 1, "x")}, 0, 0, LocalTime()});
   run(Duration::millis(10));
   EXPECT_EQ(replica().log_size(), 1u);
+  // Age out the leader-stickiness window so votes are considered on their
+  // merits (this test is about the log up-to-dateness restriction).
+  run(Duration::seconds(100));
   // A candidate with an older last-log term must be rejected even in a
   // newer term.
   puppet(1).send(replica_id(), raft::msg::kRequestVote,
@@ -127,9 +136,34 @@ TEST_F(RaftProtocolTest, RejectsVoteForStaleLog) {
       puppet(2).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
 }
 
+TEST_F(RaftProtocolTest, LeaderContactBlocksPromptVotes) {
+  // A heartbeat from the term-1 leader...
+  puppet(0).send(replica_id(), raft::msg::kAppendEntries,
+                 raft::msg::AppendEntries{1, 0, 0, {}, 0, 0, LocalTime()});
+  run(Duration::millis(10));
+  // ...makes the replica disregard an otherwise acceptable vote request for
+  // election_timeout_min (leader stickiness: granting sooner could elect a
+  // new leader inside the old leader's read lease).
+  puppet(1).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{2, 0, 0});
+  run(Duration::millis(10));
+  ASSERT_EQ(puppet(1).count(raft::msg::kVoteReply), 1);
+  EXPECT_FALSE(
+      puppet(1).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
+  EXPECT_EQ(replica().term(), 1);  // disregarded entirely: no term bump
+  // Once the window lapses with no further leader contact, the same request
+  // is granted.
+  run(Duration::seconds(100));
+  puppet(1).send(replica_id(), raft::msg::kRequestVote,
+                 raft::msg::RequestVote{2, 0, 0});
+  run(Duration::millis(10));
+  EXPECT_TRUE(
+      puppet(1).last(raft::msg::kVoteReply)->as<raft::msg::VoteReply>().granted);
+}
+
 TEST_F(RaftProtocolTest, AppendRejectsMismatchedPrev) {
   puppet(0).send(replica_id(), raft::msg::kAppendEntries,
-                 raft::msg::AppendEntries{1, 3, 1, {entry(1, 0, 1, "x")}, 0, 0});
+                 raft::msg::AppendEntries{1, 3, 1, {entry(1, 0, 1, "x")}, 0, 0, LocalTime()});
   run(Duration::millis(10));
   ASSERT_EQ(puppet(0).count(raft::msg::kAppendReply), 1);
   const auto& reply =
@@ -144,13 +178,13 @@ TEST_F(RaftProtocolTest, ConflictingSuffixIsTruncated) {
   puppet(0).send(
       replica_id(), raft::msg::kAppendEntries,
       raft::msg::AppendEntries{
-          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 0, 0});
+          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 0, 0, LocalTime()});
   run(Duration::millis(10));
   EXPECT_EQ(replica().log_size(), 2u);
   // Term-2 leader replaces index 2 with its own entry.
   puppet(1).send(
       replica_id(), raft::msg::kAppendEntries,
-      raft::msg::AppendEntries{2, 1, 1, {entry(2, 1, 1, "c")}, 0, 0});
+      raft::msg::AppendEntries{2, 1, 1, {entry(2, 1, 1, "c")}, 0, 0, LocalTime()});
   run(Duration::millis(10));
   ASSERT_EQ(replica().log_size(), 2u);
   EXPECT_EQ(replica().log()[1].term, 2);
@@ -161,13 +195,13 @@ TEST_F(RaftProtocolTest, CommitFollowsLeaderCommit) {
   puppet(0).send(
       replica_id(), raft::msg::kAppendEntries,
       raft::msg::AppendEntries{
-          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 1, 0});
+          1, 0, 0, {entry(1, 0, 1, "a"), entry(1, 0, 2, "b")}, 1, 0, LocalTime()});
   run(Duration::millis(10));
   EXPECT_EQ(replica().commit_index(), 1);
   EXPECT_EQ(replica().last_applied(), 1);
   // Leader commit beyond our log length is clamped.
   puppet(0).send(replica_id(), raft::msg::kAppendEntries,
-                 raft::msg::AppendEntries{1, 2, 1, {}, 99, 0});
+                 raft::msg::AppendEntries{1, 2, 1, {}, 99, 0, LocalTime()});
   run(Duration::millis(10));
   EXPECT_EQ(replica().commit_index(), 2);
   EXPECT_EQ(replica().applied_state().fingerprint(), "b");
@@ -179,7 +213,7 @@ TEST_F(RaftProtocolTest, StaleTermAppendRejected) {
   run(Duration::millis(10));
   EXPECT_EQ(replica().term(), 5);
   puppet(1).send(replica_id(), raft::msg::kAppendEntries,
-                 raft::msg::AppendEntries{3, 0, 0, {entry(3, 1, 1, "x")}, 0, 0});
+                 raft::msg::AppendEntries{3, 0, 0, {entry(3, 1, 1, "x")}, 0, 0, LocalTime()});
   run(Duration::millis(10));
   const auto& reply =
       puppet(1).last(raft::msg::kAppendReply)->as<raft::msg::AppendReply>();
@@ -189,7 +223,7 @@ TEST_F(RaftProtocolTest, StaleTermAppendRejected) {
 }
 
 TEST_F(RaftProtocolTest, DuplicateAppendIsIdempotent) {
-  const raft::msg::AppendEntries append{1, 0, 0, {entry(1, 0, 1, "a")}, 1, 0};
+  const raft::msg::AppendEntries append{1, 0, 0, {entry(1, 0, 1, "a")}, 1, 0, LocalTime()};
   puppet(0).send(replica_id(), raft::msg::kAppendEntries, append);
   puppet(0).send(replica_id(), raft::msg::kAppendEntries, append);
   run(Duration::millis(10));

@@ -95,26 +95,12 @@ TEST(RobustnessTest, FastClockStallsReadsUntilResync) {
   EXPECT_TRUE(result.linearizable) << result.explanation;
 }
 
-// Moderate desync within epsilon is, by definition, not a fault: everything
-// stays linearizable.
-TEST(RobustnessTest, SkewWithinEpsilonIsHarmless) {
-  ClusterConfig config = robust_config(53);
-  config.epsilon = Duration::millis(5);
-  Cluster cluster(config, std::make_shared<object::RegisterObject>());
-  ASSERT_TRUE(cluster.await_steady_leader(Duration::seconds(5)));
-  cluster.run_for(Duration::seconds(1));
-  const int leader = cluster.steady_leader();
-  for (int i = 0; i < 30; ++i) {
-    cluster.submit(leader, object::RegisterObject::write(std::to_string(i)));
-    cluster.run_for(Duration::millis(4));
-    cluster.submit((leader + 1) % cluster.n(), object::RegisterObject::read());
-    cluster.run_for(Duration::millis(8));
-  }
-  ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(30)));
-  const auto result =
-      checker::check_linearizable(cluster.model(), cluster.history().ops());
-  EXPECT_TRUE(result.linearizable) << result.explanation;
-}
+// Randomized clock-desync chaos (skew beyond epsilon under concurrent
+// workloads, with the RMW sub-history invariant) lives in the unified chaos
+// matrix: see test_chaos_matrix.cc, profile "clock-storm". This file keeps
+// only the two *directed* scenarios above, whose setups (a frozen victim
+// clock behind a partition; a fast clock that must clamp at its high-water
+// mark) are too specific for a seed-driven nemesis to hit reliably.
 
 }  // namespace
 }  // namespace cht
