@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "harness/vr_cluster.h"
 #include "object/kv_object.h"
 
@@ -26,7 +27,8 @@ struct FailoverResult {
   bool consistent = false;
 };
 
-FailoverResult run(Duration crash_offset, std::uint64_t seed) {
+FailoverResult run(ExperimentResult& result, Duration crash_offset,
+                   std::uint64_t seed, bool observe) {
   harness::ClusterConfig config;
   config.n = 5;
   config.seed = seed;
@@ -43,7 +45,7 @@ FailoverResult run(Duration crash_offset, std::uint64_t seed) {
   cluster.sim().crash(ProcessId(old_leader));
   const RealTime crash_at = cluster.sim().now();
 
-  FailoverResult result;
+  FailoverResult out;
   int new_leader = -1;
   cluster.sim().run_until(
       [&] {
@@ -51,17 +53,20 @@ FailoverResult run(Duration crash_offset, std::uint64_t seed) {
         return new_leader >= 0 && new_leader != old_leader;
       },
       crash_at + Duration::seconds(60));
-  result.new_leader_elected = cluster.sim().now() - crash_at;
+  out.new_leader_elected = cluster.sim().now() - crash_at;
   cluster.await_quiesce(Duration::seconds(60));
-  result.write_completed = cluster.sim().now() - crash_at;
+  out.write_completed = cluster.sim().now() - crash_at;
   // First follower read after failover.
   const int reader = (old_leader + 2) % cluster.n();
   cluster.submit(reader, object::KVObject::get("k"));
   cluster.await_quiesce(Duration::seconds(60));
-  result.reads_available = cluster.sim().now() - crash_at;
-  result.consistent =
-      *cluster.history().ops().back().response == "in-flight";
-  return result;
+  out.reads_available = cluster.sim().now() - crash_at;
+  out.consistent = *cluster.history().ops().back().response == "in-flight";
+  if (observe) {
+    result.config("failover", cluster.config(), cluster.overrides());
+    result.observe("failover", cluster);
+  }
+  return out;
 }
 
 // --- Static vs dynamic leader order (paper S5, VR/Raft contrast) ----------
@@ -126,11 +131,14 @@ Duration vr_recovery(int isolated, std::uint64_t seed) {
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("failover", args);
+
+  result.begin(
       "E7: leader failover with a half-done batch",
       "Claim (paper S3): the new leader's initialization (estimate\n"
       "collection -> batch recovery -> re-commit) deterministically resolves\n"
@@ -138,46 +146,66 @@ int main() {
       "in the protocol the crash landed. delta = 10 ms; Omega timeout = 41 ms;\n"
       "crash offset = time between submitting the write and killing the\n"
       "leader (sweeps the protocol phase being interrupted).");
-
-  metrics::Table table({"crash offset (ms)", "new leader (ms)",
-                        "write committed (ms)", "reads available (ms)",
-                        "in-flight write preserved"});
-  for (const std::int64_t offset_ms : {0, 3, 6, 9, 12, 15, 25}) {
-    const auto r = run(Duration::millis(offset_ms), 700 + offset_ms);
-    table.add_row({metrics::Table::num(offset_ms),
-                   ms2(r.new_leader_elected), ms2(r.write_completed),
-                   ms2(r.reads_available), r.consistent ? "yes" : "NO"});
+  result.columns({"crash offset (ms)", "new leader (ms)",
+                  "write committed (ms)", "reads available (ms)",
+                  "in-flight write preserved"});
+  const std::vector<std::int64_t> offsets =
+      result.smoke() ? std::vector<std::int64_t>{0, 9, 25}
+                     : std::vector<std::int64_t>{0, 3, 6, 9, 12, 15, 25};
+  bool all_consistent = true;
+  for (const std::int64_t offset_ms : offsets) {
+    const auto r =
+        run(result, Duration::millis(offset_ms),
+            static_cast<std::uint64_t>(700 + offset_ms),
+            offset_ms == offsets.back());
+    all_consistent = all_consistent && r.consistent;
+    result.row({metrics::Table::num(offset_ms), ms2(r.new_leader_elected),
+                ms2(r.write_completed), ms2(r.reads_available),
+                r.consistent ? "yes" : "NO"});
+    result.metric("failover_reads_available_us_offset" +
+                      std::to_string(offset_ms),
+                  r.reads_available.to_micros());
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: all columns bounded and similar across\n"
-               "crash offsets (deterministic failover, ~Omega timeout plus a\n"
-               "few delta); the in-flight write always survives (committed\n"
-               "by recovery or by the submitter's retry, never lost or\n"
-               "duplicated).\n";
+  result.metric("in_flight_write_always_preserved",
+                static_cast<std::int64_t>(all_consistent ? 1 : 0));
+  result.note(
+      "Expected shape: all columns bounded and similar across\n"
+      "crash offsets (deterministic failover, ~Omega timeout plus a\n"
+      "few delta); the in-flight write always survives (committed\n"
+      "by recovery or by the submitter's retry, never lost or\n"
+      "duplicated).");
+  result.end();
 
-  print_experiment_header(
+  result.begin(
       "E7b: static (VR) vs dynamic (Omega) leader succession",
       "Paper S5: \"with a static leader election scheme, if the next several\n"
       "processes to become leaders are partitioned away from the majority,\n"
       "the system will cycle through a succession of ineffective views\".\n"
       "n = 9; the leader crashes while its next k static successors are\n"
       "partitioned. Ours picks a connected leader directly.");
-
-  metrics::Table succession({"partitioned successors",
-                             "ours: recovery (ms)", "VR: recovery (ms)",
-                             "VR/ours"});
-  for (const int isolated : {0, 1, 2, 3}) {
-    const Duration ours_t = ours_recovery(isolated, 900 + isolated);
-    const Duration vr_t = vr_recovery(isolated, 900 + isolated);
-    succession.add_row(
-        {metrics::Table::num(static_cast<std::int64_t>(isolated)),
-         ms2(ours_t), ms2(vr_t),
-         metrics::Table::num(
-             static_cast<double>(vr_t.to_micros()) / ours_t.to_micros(), 2)});
+  result.columns({"partitioned successors", "ours: recovery (ms)",
+                  "VR: recovery (ms)", "VR/ours"});
+  const std::vector<int> isolations =
+      result.smoke() ? std::vector<int>{0, 3} : std::vector<int>{0, 1, 2, 3};
+  for (const int isolated : isolations) {
+    const Duration ours_t =
+        ours_recovery(isolated, static_cast<std::uint64_t>(900 + isolated));
+    const Duration vr_t =
+        vr_recovery(isolated, static_cast<std::uint64_t>(900 + isolated));
+    result.row({metrics::Table::num(static_cast<std::int64_t>(isolated)),
+                ms2(ours_t), ms2(vr_t),
+                metrics::Table::num(
+                    static_cast<double>(vr_t.to_micros()) / ours_t.to_micros(),
+                    2)});
+    result.metric("ours_recovery_us_k" + std::to_string(isolated),
+                  ours_t.to_micros());
+    result.metric("vr_recovery_us_k" + std::to_string(isolated),
+                  vr_t.to_micros());
   }
-  succession.print(std::cout);
-  std::cout << "\nExpected shape: ours is flat in k (Omega only proposes\n"
-               "connected processes); VR grows by roughly one view-change\n"
-               "timeout per partitioned successor.\n";
-  return 0;
+  result.note(
+      "Expected shape: ours is flat in k (Omega only proposes\n"
+      "connected processes); VR grows by roughly one view-change\n"
+      "timeout per partitioned successor.");
+  result.end();
+  return result.finish();
 }

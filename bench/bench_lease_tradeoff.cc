@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/register_object.h"
 
 namespace cht::bench {
@@ -29,13 +30,18 @@ struct TradeoffResult {
   double lease_msgs_per_sec;
 };
 
-TradeoffResult run(std::int64_t lease_multiple, std::uint64_t seed) {
-  auto tweak = [&](core::Config& c) {
-    c.lease_period = lease_multiple * kDelta;
-    c.lease_renew_interval = std::max(Duration::millis(5),
-                                      c.lease_period / 4);
-  };
-  TradeoffResult result;
+core::ConfigOverrides lease_overrides(std::int64_t lease_multiple) {
+  const Duration period = lease_multiple * kDelta;
+  core::ConfigOverrides overrides;
+  overrides.lease_period = period;
+  overrides.lease_renew_interval = std::max(Duration::millis(5), period / 4);
+  return overrides;
+}
+
+TradeoffResult run(ExperimentResult& result, std::int64_t lease_multiple,
+                   std::uint64_t seed) {
+  const auto overrides = lease_overrides(lease_multiple);
+  TradeoffResult out;
 
   // (a) one-time write delay after a leaseholder crash.
   {
@@ -43,8 +49,8 @@ TradeoffResult run(std::int64_t lease_multiple, std::uint64_t seed) {
     config.n = 5;
     config.seed = seed;
     config.delta = kDelta;
-    harness::Cluster cluster(config,
-                             std::make_shared<object::RegisterObject>(), tweak);
+    harness::Cluster cluster(config, std::make_shared<object::RegisterObject>(),
+                             overrides);
     cluster.await_steady_leader(Duration::seconds(5));
     cluster.run_for(Duration::seconds(1));
     const int leader = cluster.steady_leader();
@@ -53,14 +59,17 @@ TradeoffResult run(std::int64_t lease_multiple, std::uint64_t seed) {
     cluster.submit((leader + 2) % cluster.n(),
                    object::RegisterObject::write("x"));
     cluster.await_quiesce(Duration::seconds(60));
-    result.crash_write_delay = cluster.sim().now() - t0;
+    out.crash_write_delay = cluster.sim().now() - t0;
     // lease traffic over one steady second.
     const auto before = cluster.sim().network().stats().sent_of(
         core::msg::kLeaseGrant);
     cluster.run_for(Duration::seconds(1));
-    result.lease_msgs_per_sec = static_cast<double>(
+    out.lease_msgs_per_sec = static_cast<double>(
         cluster.sim().network().stats().sent_of(core::msg::kLeaseGrant) -
         before);
+    const std::string label = "lease-" + std::to_string(lease_multiple) + "x";
+    result.config(label, cluster.config(), cluster.overrides());
+    result.observe(label, cluster);
   }
 
   // (b) read stall around a leader crash.
@@ -69,8 +78,8 @@ TradeoffResult run(std::int64_t lease_multiple, std::uint64_t seed) {
     config.n = 5;
     config.seed = seed + 1;
     config.delta = kDelta;
-    harness::Cluster cluster(config,
-                             std::make_shared<object::RegisterObject>(), tweak);
+    harness::Cluster cluster(config, std::make_shared<object::RegisterObject>(),
+                             overrides);
     cluster.await_steady_leader(Duration::seconds(5));
     cluster.run_for(Duration::seconds(1));
     const int leader = cluster.steady_leader();
@@ -78,42 +87,55 @@ TradeoffResult run(std::int64_t lease_multiple, std::uint64_t seed) {
     // Hammer reads at one follower until well after recovery; the max block
     // is the availability gap.
     const int reader = (leader + 1) % cluster.n();
-    for (int i = 0; i < 200; ++i) {
+    for (int i = 0; i < result.scaled(200, 40); ++i) {
       cluster.submit(reader, object::RegisterObject::read());
       cluster.run_for(Duration::millis(10));
     }
     cluster.await_quiesce(Duration::seconds(60));
-    result.failover_read_stall = cluster.replica(reader).stats().max_read_block;
+    const auto* blocks =
+        cluster.replica(reader).metrics().find_histogram("span.read.block_us");
+    out.failover_read_stall =
+        Duration::micros(blocks == nullptr ? 0 : blocks->max());
   }
-  return result;
+  return out;
 }
 
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("lease_tradeoff", args);
+  result.begin(
       "Ablation: LeasePeriod (delta = 10 ms, renewal = LeasePeriod/4)",
       "Short leases: cheap leaseholder-crash recovery but frequent renewals\n"
       "and a tighter failover window; long leases: rare renewals but a long\n"
       "one-time write stall when a leaseholder dies.");
-
-  metrics::Table table({"LeasePeriod (x delta)", "write delay after lh crash (ms)",
-                        "read stall across leader crash (ms)",
-                        "LeaseGrant msgs/s"});
-  for (const std::int64_t multiple : {4, 8, 12, 24, 48}) {
-    const auto r = run(multiple, 7000 + multiple);
-    table.add_row({metrics::Table::num(multiple), ms2(r.crash_write_delay),
-                   ms2(r.failover_read_stall),
-                   metrics::Table::num(r.lease_msgs_per_sec, 0)});
+  result.columns({"LeasePeriod (x delta)", "write delay after lh crash (ms)",
+                  "read stall across leader crash (ms)", "LeaseGrant msgs/s"});
+  const std::vector<std::int64_t> sweep =
+      result.smoke() ? std::vector<std::int64_t>{4, 48}
+                     : std::vector<std::int64_t>{4, 8, 12, 24, 48};
+  for (const std::int64_t multiple : sweep) {
+    const auto r = run(result, multiple, 7000 + static_cast<std::uint64_t>(multiple));
+    result.row({metrics::Table::num(multiple), ms2(r.crash_write_delay),
+                ms2(r.failover_read_stall),
+                metrics::Table::num(r.lease_msgs_per_sec, 0)});
+    const std::string prefix = "lease_" + std::to_string(multiple) + "x_";
+    result.metric(prefix + "crash_write_delay_us",
+                  r.crash_write_delay.to_micros());
+    result.metric(prefix + "failover_read_stall_us",
+                  r.failover_read_stall.to_micros());
+    result.metric(prefix + "lease_msgs_per_sec", r.lease_msgs_per_sec);
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: the write-delay column grows linearly with\n"
-               "LeasePeriod (~LeasePeriod + epsilon + commit time); the read\n"
-               "stall is dominated by failure detection + new-leader init\n"
-               "and grows only mildly; renewal traffic falls as 1/LeasePeriod.\n";
-  return 0;
+  result.note(
+      "Expected shape: the write-delay column grows linearly with\n"
+      "LeasePeriod (~LeasePeriod + epsilon + commit time); the read\n"
+      "stall is dominated by failure detection + new-leader init\n"
+      "and grows only mildly; renewal traffic falls as 1/LeasePeriod.");
+  result.end();
+  return result.finish();
 }

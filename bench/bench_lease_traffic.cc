@@ -13,6 +13,7 @@
 
 #include "baselines/pql_lease.h"
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/messages.h"
 #include "object/register_object.h"
 
@@ -20,7 +21,7 @@ namespace cht::bench {
 namespace {
 
 // Messages per renewal period for the paper's algorithm at cluster size n.
-double ours_per_period(int n) {
+double ours_per_period(ExperimentResult& result, int n, bool observe) {
   harness::ClusterConfig config;
   config.n = n;
   config.seed = 5;
@@ -34,6 +35,11 @@ double ours_per_period(int n) {
   cluster.run_for(window);
   const auto grants =
       cluster.sim().network().stats().sent_of(core::msg::kLeaseGrant) - before;
+  if (observe) {
+    const std::string label = "ours-n" + std::to_string(n);
+    result.config(label, cluster.config(), cluster.overrides());
+    result.observe(label, cluster);
+  }
   return static_cast<double>(grants) / 20.0;
 }
 
@@ -59,33 +65,39 @@ double pql_per_period(int n) {
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("lease_traffic", args);
+  result.begin(
       "E5: lease renewal traffic vs cluster size",
       "Claim (paper S5): ours is Theta(n) one-way messages per renewal\n"
       "(leader -> others); PQL is Theta(n^2) with 2 round trips per\n"
-      "grantor-leaseholder pair (4 * n * (n-1) messages).");
-
-  metrics::Table table({"n", "ours msgs/period", "ours predicted (n-1)",
-                        "pql msgs/period", "pql predicted 4n(n-1)",
-                        "pql/ours"});
-  for (int n : {3, 5, 7, 9, 11, 13, 15}) {
-    const double ours = ours_per_period(n);
+      "grantor-leaseholder pair (4 * n * (n - 1) messages).");
+  result.columns({"n", "ours msgs/period", "ours predicted (n-1)",
+                  "pql msgs/period", "pql predicted 4n(n-1)", "pql/ours"});
+  const std::vector<int> sweep = result.smoke()
+                                     ? std::vector<int>{3, 7}
+                                     : std::vector<int>{3, 5, 7, 9, 11, 13, 15};
+  for (const int n : sweep) {
+    const double ours = ours_per_period(result, n, n == sweep.back());
     const double pql = pql_per_period(n);
-    table.add_row({metrics::Table::num(static_cast<std::int64_t>(n)),
-                   metrics::Table::num(ours, 1),
-                   metrics::Table::num(static_cast<std::int64_t>(n - 1)),
-                   metrics::Table::num(pql, 1),
-                   metrics::Table::num(static_cast<std::int64_t>(4 * n * (n - 1))),
-                   metrics::Table::num(pql / ours, 1)});
+    result.row({metrics::Table::num(static_cast<std::int64_t>(n)),
+                metrics::Table::num(ours, 1),
+                metrics::Table::num(static_cast<std::int64_t>(n - 1)),
+                metrics::Table::num(pql, 1),
+                metrics::Table::num(static_cast<std::int64_t>(4 * n * (n - 1))),
+                metrics::Table::num(pql / ours, 1)});
+    result.metric("ours_msgs_per_period_n" + std::to_string(n), ours);
+    result.metric("pql_msgs_per_period_n" + std::to_string(n), pql);
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: 'ours' matches n-1 (linear); 'pql' matches\n"
-               "4n(n-1) (quadratic); the ratio grows ~4n.\n"
-               "Latency per renewal: ours is one one-way message; PQL takes\n"
-               "two round trips before a guarantee activates.\n";
-  return 0;
+  result.note(
+      "Expected shape: 'ours' matches n-1 (linear); 'pql' matches\n"
+      "4n(n-1) (quadratic); the ratio grows ~4n.\n"
+      "Latency per renewal: ours is one one-way message; PQL takes\n"
+      "two round trips before a guarantee activates.");
+  result.end();
+  return result.finish();
 }

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/replica.h"
 #include "object/kv_object.h"
 
@@ -52,44 +53,65 @@ Result run_window(ClusterT& cluster, int reads) {
                 reads};
 }
 
-Result run_core(int reads, core::ReadPolicy policy) {
-  harness::Cluster cluster(
-      base_config(), std::make_shared<object::KVObject>(),
-      [&](core::Config& c) { c.read_policy = policy; });
+Result run_core(ExperimentResult& result, int reads, core::ReadPolicy policy,
+                const std::string& label) {
+  core::ConfigOverrides overrides;
+  overrides.read_policy = policy;
+  harness::Cluster cluster(base_config(), std::make_shared<object::KVObject>(),
+                           overrides);
   cluster.await_steady_leader(Duration::seconds(5));
   cluster.run_for(Duration::seconds(1));
-  return run_window(cluster, reads);
+  const auto window = run_window(cluster, reads);
+  if (!label.empty()) {
+    result.config(label, cluster.config(), cluster.overrides());
+    result.observe(label, cluster);
+  }
+  return window;
 }
 
-Result run_raft(int reads) {
+Result run_raft(ExperimentResult& result, int reads, const std::string& label) {
   harness::RaftCluster cluster(base_config(),
                                std::make_shared<object::KVObject>());
   cluster.await_leader(Duration::seconds(5));
   cluster.run_for(Duration::seconds(1));
-  return run_window(cluster, reads);
+  const auto window = run_window(cluster, reads);
+  if (!label.empty()) {
+    result.config(label, cluster.config());
+    result.observe(label, cluster);
+  }
+  return window;
 }
 
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("locality", args);
+  result.begin(
       "E1: read locality — messages vs number of reads",
       "Claim (paper S1/S3): with the paper's algorithm the number of\n"
       "messages is independent of the number of reads (slope ~= 0 msg/read);\n"
       "leader-forwarded reads and Raft ReadIndex reads pay messages per read.");
+  result.columns({"reads", "ours: msgs", "ours: msg/read", "fwd: msgs",
+                  "fwd: msg/read", "raft: msgs", "raft: msg/read"});
 
-  metrics::Table table({"reads", "ours: msgs", "ours: msg/read",
-                        "fwd: msgs", "fwd: msg/read", "raft: msgs",
-                        "raft: msg/read"});
+  const std::vector<int> sweep =
+      result.smoke() ? std::vector<int>{0, 100} : std::vector<int>{0, 100, 1000, 10000};
+  const int largest = sweep.back();
   std::int64_t ours_base = 0, fwd_base = 0, raft_base = 0;
-  for (int reads : {0, 100, 1000, 10000}) {
-    const auto ours = run_core(reads, core::ReadPolicy::kLocalLease);
-    const auto fwd = run_core(reads, core::ReadPolicy::kLeaderForward);
-    const auto raft = run_raft(reads);
+  for (const int reads : sweep) {
+    // Capture configs/observability only at the largest sweep point, where
+    // the traffic contrast is the sharpest.
+    const bool capture = reads == largest;
+    const auto ours = run_core(result, reads, core::ReadPolicy::kLocalLease,
+                               capture ? "ours" : "");
+    const auto fwd = run_core(result, reads, core::ReadPolicy::kLeaderForward,
+                              capture ? "leader-forward" : "");
+    const auto raft = run_raft(result, reads, capture ? "raft-readindex" : "");
     if (reads == 0) {
       ours_base = ours.messages;
       fwd_base = fwd.messages;
@@ -100,16 +122,25 @@ int main() {
       return metrics::Table::num(
           static_cast<double>(messages - baseline) / reads, 3);
     };
-    table.add_row({metrics::Table::num(static_cast<std::int64_t>(reads)),
-                   metrics::Table::num(ours.messages),
-                   per_read(ours.messages, ours_base),
-                   metrics::Table::num(fwd.messages),
-                   per_read(fwd.messages, fwd_base),
-                   metrics::Table::num(raft.messages),
-                   per_read(raft.messages, raft_base)});
+    result.row({metrics::Table::num(static_cast<std::int64_t>(reads)),
+                metrics::Table::num(ours.messages),
+                per_read(ours.messages, ours_base),
+                metrics::Table::num(fwd.messages),
+                per_read(fwd.messages, fwd_base),
+                metrics::Table::num(raft.messages),
+                per_read(raft.messages, raft_base)});
+    if (reads == largest && reads > 0) {
+      result.metric("ours_msg_per_read",
+                    static_cast<double>(ours.messages - ours_base) / reads);
+      result.metric("fwd_msg_per_read",
+                    static_cast<double>(fwd.messages - fwd_base) / reads);
+      result.metric("raft_msg_per_read",
+                    static_cast<double>(raft.messages - raft_base) / reads);
+    }
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: 'ours: msg/read' ~ 0 at every scale;\n"
-               "'fwd' and 'raft' grow by >= 2 messages per read.\n";
-  return 0;
+  result.note(
+      "Expected shape: 'ours: msg/read' ~ 0 at every scale;\n"
+      "'fwd' and 'raft' grow by >= 2 messages per read.");
+  result.end();
+  return result.finish();
 }

@@ -23,6 +23,7 @@
 
 #include "checker/linearizability.h"
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/register_object.h"
 
 namespace cht::bench {
@@ -52,15 +53,17 @@ ShiftCheck check_shift(Duration epsilon, Duration delta) {
 }
 
 // Part (2): reads faster than the bound => linearizability violation.
-bool demonstrate_violation(Duration delta) {
-  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+bool demonstrate_violation(ExperimentResult& result, Duration delta) {
+  const std::uint64_t max_seed = result.smoke() ? 10 : 30;
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
     harness::ClusterConfig config;
     config.n = 5;
     config.seed = seed;
     config.delta = delta;
-    harness::Cluster cluster(
-        config, std::make_shared<object::RegisterObject>(),
-        [](core::Config& c) { c.read_policy = core::ReadPolicy::kUnsafeLocal; });
+    core::ConfigOverrides overrides;
+    overrides.read_policy = core::ReadPolicy::kUnsafeLocal;
+    harness::Cluster cluster(config, std::make_shared<object::RegisterObject>(),
+                             overrides);
     if (!cluster.await_steady_leader(Duration::seconds(5))) continue;
     cluster.run_for(Duration::seconds(1));
     const int leader = cluster.steady_leader();
@@ -71,15 +74,19 @@ bool demonstrate_violation(Duration delta) {
       cluster.run_for(delta * 2);
     }
     cluster.await_quiesce(Duration::seconds(30));
-    const auto result =
+    const auto check =
         checker::check_linearizable(cluster.model(), cluster.history().ops());
-    if (!result.linearizable) return true;
+    if (!check.linearizable) {
+      result.config("unsafe-local", cluster.config(), cluster.overrides());
+      return true;
+    }
   }
   return false;
 }
 
 // Part (3): measured worst-case blocking of the real algorithm.
-Duration measured_blocking(Duration epsilon, Duration delta) {
+Duration measured_blocking(ExperimentResult& result, Duration epsilon,
+                           Duration delta, const std::string& label) {
   harness::ClusterConfig config;
   config.n = 5;
   config.seed = 88;
@@ -89,7 +96,7 @@ Duration measured_blocking(Duration epsilon, Duration delta) {
   cluster.await_steady_leader(Duration::seconds(10));
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
-  for (int i = 0; i < 150; ++i) {
+  for (int i = 0; i < result.scaled(150, 30); ++i) {
     cluster.submit((leader + 1) % cluster.n(),
                    object::RegisterObject::write(std::to_string(i)));
     cluster.run_for(delta / 2);
@@ -99,76 +106,86 @@ Duration measured_blocking(Duration epsilon, Duration delta) {
     cluster.run_for(delta);
   }
   cluster.await_quiesce(Duration::seconds(60));
-  Duration worst = Duration::zero();
+  std::int64_t worst_us = 0;
   for (int p = 0; p < cluster.n(); ++p) {
-    worst = std::max(worst, cluster.replica(p).stats().max_read_block);
+    const auto* blocks =
+        cluster.replica(p).metrics().find_histogram("span.read.block_us");
+    if (blocks != nullptr) worst_us = std::max(worst_us, blocks->max());
   }
-  return worst;
+  result.observe(label, cluster);
+  return Duration::micros(worst_us);
 }
 
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("lower_bound", args);
+
+  result.begin(
       "E8a: shifting-execution legality (Theorem 4.1 side conditions)",
       "For each (epsilon, delta), shifting one process by\n"
       "s = min(epsilon, delta/2) must keep the run legal: clock within\n"
       "epsilon/2 of real time, delays within [0, delta].");
-
-  metrics::Table shift_table({"epsilon (ms)", "delta (ms)",
-                              "alpha = min(eps, delta/2) (ms)", "clock ok",
-                              "delay-to ok", "delay-from ok"});
+  result.columns({"epsilon (ms)", "delta (ms)",
+                  "alpha = min(eps, delta/2) (ms)", "clock ok", "delay-to ok",
+                  "delay-from ok"});
   for (const auto& [e_ms, d_ms] :
        std::vector<std::pair<int, int>>{{1, 10}, {5, 10}, {10, 10},
                                         {20, 10}, {1, 100}, {50, 20}}) {
     const auto c = check_shift(Duration::millis(e_ms), Duration::millis(d_ms));
-    shift_table.add_row(
-        {metrics::Table::num(static_cast<std::int64_t>(e_ms)),
-         metrics::Table::num(static_cast<std::int64_t>(d_ms)), ms2(c.shift),
-         c.clock_in_bounds ? "yes" : "NO",
-         c.delay_to_in_bounds ? "yes" : "NO",
-         c.delay_from_in_bounds ? "yes" : "NO"});
+    result.row({metrics::Table::num(static_cast<std::int64_t>(e_ms)),
+                metrics::Table::num(static_cast<std::int64_t>(d_ms)),
+                ms2(c.shift), c.clock_in_bounds ? "yes" : "NO",
+                c.delay_to_in_bounds ? "yes" : "NO",
+                c.delay_from_in_bounds ? "yes" : "NO"});
   }
-  shift_table.print(std::cout);
+  result.end();
 
-  print_experiment_header(
+  result.begin(
       "E8b: the predicted violation, realized",
       "An algorithm whose reads answer instantly from local state (blocking\n"
       "< alpha) must violate linearizability in some run; we search seeds\n"
       "until the checker exhibits one.");
-  const bool violated = demonstrate_violation(Duration::millis(10));
+  const bool violated = demonstrate_violation(result, Duration::millis(10));
   std::cout << "linearizability violation found with instant local reads: "
             << (violated ? "YES (as Theorem 4.1 predicts)" : "no (unexpected)")
             << "\n";
+  result.metric("unsafe_local_violation_found",
+                static_cast<std::int64_t>(violated ? 1 : 0));
+  result.end();
 
-  print_experiment_header(
+  result.begin(
       "E8c: our algorithm against the bound",
       "Measured worst-case read blocking vs the alpha lower bound: within a\n"
       "constant factor when delta = Theta(epsilon) (paper S4 conclusion).");
-  metrics::Table bound_table({"epsilon (ms)", "delta (ms)", "alpha (ms)",
-                              "ours max block (ms)", "ours bound 3*delta (ms)",
-                              "ratio ours/alpha"});
+  result.columns({"epsilon (ms)", "delta (ms)", "alpha (ms)",
+                  "ours max block (ms)", "ours bound 3*delta (ms)",
+                  "ratio ours/alpha"});
   for (const auto& [e_ms, d_ms] :
        std::vector<std::pair<int, int>>{{10, 10}, {5, 10}, {20, 20}}) {
     const Duration epsilon = Duration::millis(e_ms);
     const Duration delta = Duration::millis(d_ms);
     const Duration alpha = std::min(epsilon, delta / 2);
-    const Duration measured = measured_blocking(epsilon, delta);
-    bound_table.add_row(
-        {metrics::Table::num(static_cast<std::int64_t>(e_ms)),
-         metrics::Table::num(static_cast<std::int64_t>(d_ms)), ms2(alpha),
-         ms2(measured), ms2(3 * delta),
-         metrics::Table::num(
-             static_cast<double>(measured.to_micros()) / alpha.to_micros(),
-             2)});
+    const std::string label =
+        "eps" + std::to_string(e_ms) + "-delta" + std::to_string(d_ms);
+    const Duration measured = measured_blocking(result, epsilon, delta, label);
+    result.row({metrics::Table::num(static_cast<std::int64_t>(e_ms)),
+                metrics::Table::num(static_cast<std::int64_t>(d_ms)),
+                ms2(alpha), ms2(measured), ms2(3 * delta),
+                metrics::Table::num(static_cast<double>(measured.to_micros()) /
+                                        alpha.to_micros(),
+                                    2)});
+    result.metric("max_block_us_" + label, measured.to_micros());
   }
-  bound_table.print(std::cout);
-  std::cout << "\nExpected shape: all legality checks pass; E8b finds the\n"
-               "violation; E8c ratio is a small constant (<= 6 = 3delta /\n"
-               "(delta/2)) when delta = Theta(epsilon).\n";
-  return 0;
+  result.note(
+      "Expected shape: all legality checks pass; E8b finds the\n"
+      "violation; E8c ratio is a small constant (<= 6 = 3delta /\n"
+      "(delta/2)) when delta = Theta(epsilon).");
+  result.end();
+  return result.finish();
 }

@@ -1,11 +1,20 @@
 // Micro benchmarks (google-benchmark): substrate costs underlying the
 // experiment harnesses — object apply, event-queue throughput, simulated
 // cluster event rate, and linearizability checking.
+//
+// Unlike the stock BENCHMARK_MAIN(), the main() below understands the common
+// bench flags (--smoke, --out=) and renders results through ExperimentResult,
+// so this target emits the same BENCH_micro.json artifact schema as the
+// experiment benches. Unrecognized flags are forwarded to google-benchmark
+// (e.g. --benchmark_filter=...).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "checker/linearizability.h"
+#include "common/experiment.h"
 #include "harness/cluster.h"
 #include "object/kv_object.h"
 #include "object/register_object.h"
@@ -143,6 +152,78 @@ void BM_CheckerConcurrentWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckerConcurrentWindow)->Arg(4)->Arg(8)->Arg(12);
 
+// Collects per-benchmark runs into the shared ExperimentResult (table rows +
+// named metrics); console rendering is left to the builder's table printer.
+class ResultCollector : public benchmark::BenchmarkReporter {
+ public:
+  explicit ResultCollector(cht::bench::ExperimentResult& result)
+      : result_(result) {}
+
+  bool ReportContext(const Context& context) override {
+    result_.metric("cpus", static_cast<std::int64_t>(context.cpu_info.num_cpus));
+    return true;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      const double real_ns = run.real_accumulated_time / iters * 1e9;
+      const double cpu_ns = run.cpu_accumulated_time / iters * 1e9;
+      result_.row({name,
+                   metrics::Table::num(static_cast<std::int64_t>(run.iterations)),
+                   metrics::Table::num(real_ns, 1),
+                   metrics::Table::num(cpu_ns, 1)});
+      result_.metric(name + ".real_time_ns", real_ns);
+      result_.metric(name + ".cpu_time_ns", cpu_ns);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        result_.metric(name + ".items_per_second",
+                       static_cast<double>(items->second.value));
+      }
+    }
+  }
+
+ private:
+  cht::bench::ExperimentResult& result_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out;
+  std::vector<char*> fwd_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else {
+      fwd_argv.push_back(argv[i]);
+    }
+  }
+  // google-benchmark 1.7 expects a bare double for min_time (no "s" suffix).
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) fwd_argv.push_back(min_time.data());
+  int fwd_argc = static_cast<int>(fwd_argv.size());
+  benchmark::Initialize(&fwd_argc, fwd_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd_argv.data())) {
+    return 2;
+  }
+
+  cht::bench::ExperimentResult result("micro", out, smoke);
+  result.begin("micro: substrate costs (google-benchmark)",
+               "Object apply, event-queue throughput, full-stack simulated\n"
+               "cluster rates, and linearizability-checker scaling.");
+  result.columns({"benchmark", "iterations", "real ns/iter", "cpu ns/iter"});
+  ResultCollector collector(result);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+  result.end();
+  return result.finish();
+}

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/kv_object.h"
 
 namespace cht::bench {
@@ -29,9 +30,9 @@ harness::ClusterConfig geo_config() {
 }
 
 template <class ClusterT>
-void drive(ClusterT& cluster, Rng& rng) {
+void drive(ClusterT& cluster, Rng& rng, int steps) {
   const std::vector<std::string> keys = {"hot", "a", "b", "c"};
-  for (int step = 0; step < 400; ++step) {
+  for (int step = 0; step < steps; ++step) {
     // One write per step on the hot key...
     cluster.submit(static_cast<int>(rng.next_below(5)),
                    object::KVObject::put("hot", std::to_string(step)));
@@ -45,66 +46,82 @@ void drive(ClusterT& cluster, Rng& rng) {
   cluster.await_quiesce(Duration::seconds(120));
 }
 
-metrics::LatencyRecorder run_core(core::ReadPolicy policy) {
+metrics::LatencyRecorder run_core(ExperimentResult& result,
+                                  const std::string& label,
+                                  core::ReadPolicy policy) {
   Rng rng(1);
+  core::ConfigOverrides overrides;
+  overrides.read_policy = policy;
   harness::Cluster cluster(geo_config(), std::make_shared<object::KVObject>(),
-                           [&](core::Config& c) { c.read_policy = policy; });
+                           overrides);
   cluster.await_steady_leader(Duration::seconds(10));
   cluster.run_for(Duration::seconds(2));
-  drive(cluster, rng);
-  return split_latencies(cluster.model(), cluster.history()).reads;
+  drive(cluster, rng, result.scaled(400, 10));
+  result.config(label, cluster.config(), cluster.overrides());
+  result.observe(label, cluster);
+  const auto reads = split_latencies(cluster.model(), cluster.history()).reads;
+  result.latency(label, reads);
+  return reads;
 }
 
-metrics::LatencyRecorder run_raft(raft::ReadMode mode) {
+metrics::LatencyRecorder run_raft(ExperimentResult& result,
+                                  const std::string& label,
+                                  raft::ReadMode mode) {
   Rng rng(1);
-  harness::RaftCluster cluster(geo_config(), std::make_shared<object::KVObject>(),
-                               mode);
+  harness::RaftCluster cluster(geo_config(),
+                               std::make_shared<object::KVObject>(), mode);
   cluster.await_leader(Duration::seconds(10));
   cluster.run_for(Duration::seconds(2));
-  drive(cluster, rng);
-  return split_latencies(cluster.model(), cluster.history()).reads;
+  drive(cluster, rng, result.scaled(400, 10));
+  result.config(label, cluster.config());
+  result.observe(label, cluster);
+  const auto reads = split_latencies(cluster.model(), cluster.history()).reads;
+  result.latency(label, reads);
+  return reads;
 }
 
-void add_row(metrics::Table& table, const std::string& name,
+void add_row(ExperimentResult& result, const std::string& name,
              const metrics::LatencyRecorder& lat) {
-  table.add_row({name, metrics::Table::num(static_cast<std::int64_t>(lat.count())),
-                 ms2(lat.p50()), ms2(lat.percentile(0.9)), ms2(lat.p99()),
-                 ms2(lat.max())});
+  result.row({name, metrics::Table::num(static_cast<std::int64_t>(lat.count())),
+              ms2(lat.p50()), ms2(lat.percentile(0.9)), ms2(lat.p99()),
+              ms2(lat.max())});
 }
 
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("read_latency", args);
+  result.begin(
       "E4: read latency, ours vs baselines (delta = 25 ms, 95% reads)",
       "Claim (paper S5): local lease reads complete in 0 network hops and\n"
       "block only on conflicting writes; every baseline pays network hops\n"
       "and/or conflict-blind blocking.");
-
-  metrics::Table table(
+  result.columns(
       {"algorithm", "reads", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"});
-  add_row(table, "ours (local lease reads)",
-          run_core(core::ReadPolicy::kLocalLease));
-  add_row(table, "ours, conflict-blind (PQL-style blocking)",
-          run_core(core::ReadPolicy::kAnyPendingBlocks));
-  add_row(table, "leader-forwarded reads (Spanner option a)",
-          run_core(core::ReadPolicy::kLeaderForward));
-  add_row(table, "timestamp + safe-time wait (Spanner option b)",
-          run_core(core::ReadPolicy::kSafeTime));
-  add_row(table, "raft ReadIndex", run_raft(raft::ReadMode::kReadIndex));
-  add_row(table, "raft leader-lease", run_raft(raft::ReadMode::kLeaderLease));
-  table.print(std::cout);
-
-  std::cout << "\nExpected shape: ours p50 = 0 ms (local, non-blocking), p99\n"
-               "<= 3*delta = 75 ms; conflict-blind inflates p50/p99; safe-time\n"
-               "waits ~half a beacon interval per read even with no writes;\n"
-               "leader\n"
-               "forwarding >= 1 RTT (~2*delta median); Raft ReadIndex is the\n"
-               "slowest (forward + majority round); Raft leader-lease helps\n"
-               "only reads issued *at* the leader (1/5 of them).\n";
-  return 0;
+  add_row(result, "ours (local lease reads)",
+          run_core(result, "ours", core::ReadPolicy::kLocalLease));
+  add_row(result, "ours, conflict-blind (PQL-style blocking)",
+          run_core(result, "conflict-blind", core::ReadPolicy::kAnyPendingBlocks));
+  add_row(result, "leader-forwarded reads (Spanner option a)",
+          run_core(result, "leader-forward", core::ReadPolicy::kLeaderForward));
+  add_row(result, "timestamp + safe-time wait (Spanner option b)",
+          run_core(result, "safe-time", core::ReadPolicy::kSafeTime));
+  add_row(result, "raft ReadIndex",
+          run_raft(result, "raft-readindex", raft::ReadMode::kReadIndex));
+  add_row(result, "raft leader-lease",
+          run_raft(result, "raft-lease", raft::ReadMode::kLeaderLease));
+  result.note(
+      "Expected shape: ours p50 = 0 ms (local, non-blocking), p99\n"
+      "<= 3*delta = 75 ms; conflict-blind inflates p50/p99; safe-time\n"
+      "waits ~half a beacon interval per read even with no writes; leader\n"
+      "forwarding >= 1 RTT (~2*delta median); Raft ReadIndex is the\n"
+      "slowest (forward + majority round); Raft leader-lease helps\n"
+      "only reads issued *at* the leader (1/5 of them).");
+  result.end();
+  return result.finish();
 }

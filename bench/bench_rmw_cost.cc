@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "harness/vr_cluster.h"
 #include "object/register_object.h"
 
@@ -62,67 +63,79 @@ RmwResult measure(ClusterT& cluster, bool pipelined, int count) {
 }
 
 template <class ClusterT, class AwaitFn>
-RmwResult run(ClusterT& cluster, AwaitFn await_ready, bool pipelined) {
+RmwResult run(ClusterT& cluster, AwaitFn await_ready, bool pipelined,
+              int count) {
   await_ready();
   cluster.run_for(Duration::seconds(1));
-  return measure(cluster, pipelined, 50);
+  return measure(cluster, pipelined, count);
 }
 
-void add_row(metrics::Table& table, const std::string& name,
-             const RmwResult& r) {
-  table.add_row({name, ms2(r.latency.p50()), ms2(r.latency.p99()),
-                 metrics::Table::num(r.messages_per_op, 1)});
+void add_row(ExperimentResult& result, const std::string& name,
+             const std::string& label, const RmwResult& r) {
+  result.row({name, ms2(r.latency.p50()), ms2(r.latency.p99()),
+              metrics::Table::num(r.messages_per_op, 1)});
+  result.latency(label, r.latency);
+  result.metric(label + "_msgs_per_op", r.messages_per_op);
 }
 
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
-      "E11: RMW cost parity with standard SMR (delta = 10 ms, n = 5)",
-      "Claim (paper S1): RMW operations are handled about as efficiently as\n"
-      "existing linearizable replication algorithms. Same write workload on\n"
-      "identical simulated networks. Note: messages/op includes each\n"
-      "protocol's fixed background traffic (heartbeats, leases, supports)\n"
-      "amortized over the 50 writes.");
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("rmw_cost", args);
+  const int count = result.scaled(50, 12);
 
   for (const bool pipelined : {false, true}) {
-    std::cout << (pipelined ? "\n-- pipelined (50 writes offered at once; "
-                              "batching allowed) --\n"
-                            : "\n-- closed loop (one write in flight) --\n");
-    metrics::Table table({"algorithm", "p50 (ms)", "p99 (ms)", "msgs/op"});
+    result.begin(
+        pipelined ? "E11: RMW cost parity — pipelined (writes offered at "
+                    "once; batching allowed)"
+                  : "E11: RMW cost parity — closed loop (one write in flight)",
+        "Claim (paper S1): RMW operations are handled about as efficiently\n"
+        "as existing linearizable replication algorithms. Same write\n"
+        "workload on identical simulated networks (delta = 10 ms, n = 5).\n"
+        "Note: messages/op includes each protocol's fixed background\n"
+        "traffic (heartbeats, leases, supports) amortized over the writes.");
+    result.columns({"algorithm", "p50 (ms)", "p99 (ms)", "msgs/op"});
+    const std::string suffix = pipelined ? "-pipelined" : "-closed";
     {
       harness::Cluster cluster(net_config(3),
                                std::make_shared<object::RegisterObject>());
-      add_row(table, "ours",
+      add_row(result, "ours", "ours" + suffix,
               run(cluster,
                   [&] { cluster.await_steady_leader(Duration::seconds(10)); },
-                  pipelined));
+                  pipelined, count));
+      result.observe("ours" + suffix, cluster);
     }
     {
       harness::RaftCluster cluster(net_config(3),
                                    std::make_shared<object::RegisterObject>());
-      add_row(table, "raft",
+      add_row(result, "raft", "raft" + suffix,
               run(cluster,
                   [&] { cluster.await_leader(Duration::seconds(10)); },
-                  pipelined));
+                  pipelined, count));
+      result.observe("raft" + suffix, cluster);
     }
     {
       harness::VrCluster cluster(net_config(3),
                                  std::make_shared<object::RegisterObject>());
-      add_row(table, "viewstamped replication",
+      add_row(result, "viewstamped replication", "vr" + suffix,
               run(cluster,
                   [&] { cluster.await_primary(Duration::seconds(10)); },
-                  pipelined));
+                  pipelined, count));
+      result.observe("vr" + suffix, cluster);
     }
-    table.print(std::cout);
+    if (pipelined) {
+      result.note(
+          "Expected shape: same order of magnitude across all three\n"
+          "(one forward hop when the submitter is a follower, plus one\n"
+          "round to a majority, ~2-3*delta end to end); ours batches\n"
+          "aggressively in the pipelined case.");
+    }
+    result.end();
   }
-  std::cout << "\nExpected shape: same order of magnitude across all three\n"
-               "(one forward hop when the submitter is a follower, plus one\n"
-               "round to a majority, ~2-3*delta end to end); ours batches\n"
-               "aggressively in the pipelined case.\n";
-  return 0;
+  return result.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "checker/linearizability.h"
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/register_object.h"
 
 namespace cht::bench {
@@ -28,18 +29,19 @@ harness::ClusterConfig base_config(std::uint64_t seed) {
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("robustness", args);
+  result.begin(
       "E9: robustness under broken assumptions",
       "Each scenario breaks one model assumption and reports what was lost\n"
       "(liveness, read freshness) and what survived (safety, RMW\n"
       "linearizability) — matching the paper's robustness discussion.");
-
-  metrics::Table table({"scenario", "ops completed", "full history lin.",
-                        "RMW sub-history lin.", "notes"});
+  result.columns({"scenario", "ops completed", "full history lin.",
+                  "RMW sub-history lin.", "notes"});
 
   // (a) Majority crash.
   {
@@ -56,14 +58,18 @@ int main() {
         checker::check_linearizable(cluster.model(), cluster.history().ops());
     const auto rmw = checker::check_rmw_subhistory_linearizable(
         cluster.model(), cluster.history().ops());
-    table.add_row({"majority (3/5) crash",
-                   metrics::Table::num(static_cast<std::int64_t>(
-                       cluster.completed())) +
-                       "/" + metrics::Table::num(static_cast<std::int64_t>(
-                                 cluster.submitted())),
-                   full.linearizable ? "yes" : "NO",
-                   rmw.linearizable ? "yes" : "NO",
-                   "post-crash ops pend forever (liveness lost, safety kept)"});
+    result.row({"majority (3/5) crash",
+                metrics::Table::num(static_cast<std::int64_t>(
+                    cluster.completed())) +
+                    "/" + metrics::Table::num(static_cast<std::int64_t>(
+                              cluster.submitted())),
+                full.linearizable ? "yes" : "NO",
+                rmw.linearizable ? "yes" : "NO",
+                "post-crash ops pend forever (liveness lost, safety kept)"});
+    result.metric("majority_crash_safety_kept",
+                  static_cast<std::int64_t>(full.linearizable ? 1 : 0));
+    result.config("majority-crash", cluster.config(), cluster.overrides());
+    result.observe("majority-crash", cluster);
   }
 
   // (b) slow clock + partition => stale reads, RMW still linearizable.
@@ -91,14 +97,16 @@ int main() {
         checker::check_linearizable(cluster.model(), cluster.history().ops());
     const auto rmw = checker::check_rmw_subhistory_linearizable(
         cluster.model(), cluster.history().ops());
-    table.add_row({"slow clock + partition",
-                   metrics::Table::num(static_cast<std::int64_t>(
-                       cluster.completed())) +
-                       "/" + metrics::Table::num(static_cast<std::int64_t>(
-                                 cluster.submitted())),
-                   full.linearizable ? "yes (unexpected)" : "NO (stale read)",
-                   rmw.linearizable ? "yes" : "NO",
-                   "victim read \"" + got + "\" after new0..new2 committed"});
+    result.row({"slow clock + partition",
+                metrics::Table::num(static_cast<std::int64_t>(
+                    cluster.completed())) +
+                    "/" + metrics::Table::num(static_cast<std::int64_t>(
+                              cluster.submitted())),
+                full.linearizable ? "yes (unexpected)" : "NO (stale read)",
+                rmw.linearizable ? "yes" : "NO",
+                "victim read \"" + got + "\" after new0..new2 committed"});
+    result.metric("slow_clock_rmw_linearizable",
+                  static_cast<std::int64_t>(rmw.linearizable ? 1 : 0));
   }
 
   // (c) fast clock stalls reads; resync restores freshness.
@@ -120,21 +128,23 @@ int main() {
     const std::string got = *cluster.history().ops().back().response;
     const auto full =
         checker::check_linearizable(cluster.model(), cluster.history().ops());
-    table.add_row({"fast clock, then resync",
-                   metrics::Table::num(static_cast<std::int64_t>(
-                       cluster.completed())) +
-                       "/" + metrics::Table::num(static_cast<std::int64_t>(
-                                 cluster.submitted())),
-                   full.linearizable ? "yes" : "NO",
-                   "yes",
-                   std::string(stalled ? "read stalled while desynced; " :
-                                         "") +
-                       "after resync read \"" + got + "\" (current)"});
+    result.row({"fast clock, then resync",
+                metrics::Table::num(static_cast<std::int64_t>(
+                    cluster.completed())) +
+                    "/" + metrics::Table::num(static_cast<std::int64_t>(
+                              cluster.submitted())),
+                full.linearizable ? "yes" : "NO",
+                "yes",
+                std::string(stalled ? "read stalled while desynced; " : "") +
+                    "after resync read \"" + got + "\" (current)"});
+    result.metric("fast_clock_resync_linearizable",
+                  static_cast<std::int64_t>(full.linearizable ? 1 : 0));
   }
 
-  table.print(std::cout);
-  std::cout << "\nExpected shape: RMW sub-history linearizable in every row;\n"
-               "full-history violations only in the stale-read row; majority\n"
-               "crash completes only pre-crash ops.\n";
-  return 0;
+  result.note(
+      "Expected shape: RMW sub-history linearizable in every row;\n"
+      "full-history violations only in the stale-read row; majority\n"
+      "crash completes only pre-crash ops.");
+  result.end();
+  return result.finish();
 }

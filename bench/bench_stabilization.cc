@@ -9,13 +9,16 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/kv_object.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("stabilization", args);
+  result.begin(
       "E10: operation latency timeline across GST",
       "GST = 3.0 s; pre-GST: delays up to 250 ms, 20% loss; post-GST:\n"
       "delays <= delta = 10 ms. Steady workload: 1 write + 4 reads per\n"
@@ -51,10 +54,10 @@ int main() {
   }
   cluster.await_quiesce(Duration::seconds(120));
 
-  metrics::Table table({"window (s)", "phase", "writes p50 (ms)",
-                        "writes max (ms)", "reads p50 (ms)", "reads max (ms)",
-                        "reads still pending"});
+  result.columns({"window (s)", "phase", "writes p50 (ms)", "writes max (ms)",
+                  "reads p50 (ms)", "reads max (ms)", "reads still pending"});
   const auto& ops = cluster.history().ops();
+  metrics::LatencyRecorder post_gst_reads, post_gst_writes;
   for (int w = 0; w < 6; ++w) {
     const RealTime lo = RealTime::zero() + Duration::seconds(w);
     const RealTime hi = lo + Duration::seconds(1);
@@ -68,22 +71,30 @@ int main() {
         continue;
       }
       (sample.is_read ? reads : writes).record(record.latency());
+      if (w >= 3) {
+        (sample.is_read ? post_gst_reads : post_gst_writes)
+            .record(record.latency());
+      }
     }
     auto cell = [](const metrics::LatencyRecorder& r, bool max) {
       if (r.empty()) return std::string("-");
       return metrics::Table::num((max ? r.max() : r.p50()).to_millis_f(), 1);
     };
-    table.add_row({std::to_string(w) + ".." + std::to_string(w + 1),
-                   w < 3 ? "pre-GST (async, lossy)" : "post-GST (delta bound)",
-                   cell(writes, false), cell(writes, true), cell(reads, false),
-                   cell(reads, true), metrics::Table::num(
-                       static_cast<std::int64_t>(pending))});
+    result.row({std::to_string(w) + ".." + std::to_string(w + 1),
+                w < 3 ? "pre-GST (async, lossy)" : "post-GST (delta bound)",
+                cell(writes, false), cell(writes, true), cell(reads, false),
+                cell(reads, true),
+                metrics::Table::num(static_cast<std::int64_t>(pending))});
   }
-  table.print(std::cout);
-
-  std::cout << "\nExpected shape: pre-GST windows show large/irregular\n"
-               "latencies (possibly hundreds of ms); post-GST writes settle\n"
-               "to ~2-3*delta and reads to ~0 ms (local), with nothing left\n"
-               "pending.\n";
-  return 0;
+  result.config("across-gst", cluster.config(), cluster.overrides());
+  result.observe("across-gst", cluster);
+  result.latency("post-gst-reads", post_gst_reads);
+  result.latency("post-gst-writes", post_gst_writes);
+  result.note(
+      "Expected shape: pre-GST windows show large/irregular\n"
+      "latencies (possibly hundreds of ms); post-GST writes settle\n"
+      "to ~2-3*delta and reads to ~0 ms (local), with nothing left\n"
+      "pending.");
+  result.end();
+  return result.finish();
 }

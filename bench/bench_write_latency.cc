@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/bench_util.h"
+#include "common/experiment.h"
 #include "object/register_object.h"
 
 namespace cht::bench {
@@ -29,10 +30,14 @@ harness::ClusterConfig base_config(std::uint64_t seed = 61) {
 }
 
 // Sequence of per-write commit latencies around a leaseholder crash.
-std::vector<Duration> crash_timeline(core::CommitGate gate) {
+std::vector<Duration> crash_timeline(ExperimentResult& result,
+                                     core::CommitGate gate,
+                                     const std::string& label) {
+  core::ConfigOverrides overrides;
+  overrides.commit_gate = gate;
   harness::Cluster cluster(base_config(),
                            std::make_shared<object::RegisterObject>(),
-                           [&](core::Config& c) { c.commit_gate = gate; });
+                           overrides);
   cluster.await_steady_leader(Duration::seconds(5));
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
@@ -48,17 +53,25 @@ std::vector<Duration> crash_timeline(core::CommitGate gate) {
   for (int i = 0; i < 3; ++i) timed_write(i);  // healthy
   cluster.sim().crash(ProcessId((leader + 1) % cluster.n()));
   for (int i = 3; i < 10; ++i) timed_write(i);  // after the crash
+  result.config(label, cluster.config(), cluster.overrides());
+  result.observe(label, cluster);
+  metrics::LatencyRecorder lat;
+  for (const Duration d : latencies) lat.record(d);
+  result.latency(label, lat);
   return latencies;
 }
 
-Duration steady_write_latency(Duration commit_wait, std::uint64_t seed) {
-  harness::Cluster cluster(
-      base_config(seed), std::make_shared<object::RegisterObject>(),
-      [&](core::Config& c) { c.commit_wait = commit_wait; });
+Duration steady_write_latency(ExperimentResult& result, Duration commit_wait,
+                              std::uint64_t seed) {
+  core::ConfigOverrides overrides;
+  overrides.commit_wait = commit_wait;
+  harness::Cluster cluster(base_config(seed),
+                           std::make_shared<object::RegisterObject>(),
+                           overrides);
   cluster.await_steady_leader(Duration::seconds(5));
   cluster.run_for(Duration::seconds(1));
   metrics::LatencyRecorder lat;
-  for (int i = 0; i < 20; ++i) {
+  for (int i = 0; i < result.scaled(20, 6); ++i) {
     const RealTime t0 = cluster.sim().now();
     cluster.submit(1, object::RegisterObject::write(std::to_string(i)));
     cluster.await_quiesce(Duration::seconds(30));
@@ -70,48 +83,57 @@ Duration steady_write_latency(Duration commit_wait, std::uint64_t seed) {
 }  // namespace
 }  // namespace cht::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cht;
   using namespace cht::bench;
 
-  print_experiment_header(
+  const BenchArgs args = parse_bench_args(argc, argv);
+  ExperimentResult result("write_latency", args);
+
+  result.begin(
       "E6a: write latency timeline around a leaseholder crash",
       "Claim (paper S3/S5): ours pays the lease-expiry wait exactly once\n"
       "(write #4, the first after the crash), then drops the dead process\n"
       "from the leaseholder set; Megastore-style all-ack commits pay the\n"
       "wait on every write. (LeasePeriod = 12*delta = 120 ms.)");
-
-  const auto ours = crash_timeline(core::CommitGate::kLeaseholders);
-  const auto allack = crash_timeline(core::CommitGate::kAllProcesses);
-  metrics::Table timeline({"write#", "ours (ms)", "all-ack/Megastore (ms)",
-                           "note"});
+  const auto ours = crash_timeline(result, core::CommitGate::kLeaseholders,
+                                   "ours-leaseholders");
+  const auto allack = crash_timeline(result, core::CommitGate::kAllProcesses,
+                                     "all-ack");
+  result.columns({"write#", "ours (ms)", "all-ack/Megastore (ms)", "note"});
   for (std::size_t i = 0; i < ours.size(); ++i) {
     std::string note;
     if (i < 3) note = "healthy";
     else if (i == 3) note = "first write after crash";
     else note = "subsequent writes";
-    timeline.add_row({metrics::Table::num(static_cast<std::int64_t>(i + 1)),
-                      ms2(ours[i]), ms2(allack[i]), note});
+    result.row({metrics::Table::num(static_cast<std::int64_t>(i + 1)),
+                ms2(ours[i]), ms2(allack[i]), note});
   }
-  timeline.print(std::cout);
+  result.end();
 
-  print_experiment_header(
+  result.begin(
       "E6b: write latency vs clock uncertainty epsilon",
       "Claim (paper S5, Spanner): commit-wait writes pay epsilon each;\n"
       "ours is independent of epsilon after GST.");
-
-  metrics::Table eps({"epsilon (ms)", "ours p50 (ms)",
-                      "commit-wait p50 (ms)"});
-  for (const std::int64_t e_ms : {0, 5, 10, 25, 50}) {
+  result.columns({"epsilon (ms)", "ours p50 (ms)", "commit-wait p50 (ms)"});
+  const std::vector<std::int64_t> sweep =
+      result.smoke() ? std::vector<std::int64_t>{0, 50}
+                     : std::vector<std::int64_t>{0, 5, 10, 25, 50};
+  for (const std::int64_t e_ms : sweep) {
     const Duration epsilon = Duration::millis(e_ms);
-    eps.add_row({metrics::Table::num(e_ms),
-                 ms2(steady_write_latency(Duration::zero(), 71)),
-                 ms2(steady_write_latency(epsilon, 71))});
+    const Duration ours_p50 =
+        steady_write_latency(result, Duration::zero(), 71);
+    const Duration wait_p50 = steady_write_latency(result, epsilon, 71);
+    result.row({metrics::Table::num(e_ms), ms2(ours_p50), ms2(wait_p50)});
+    result.metric("ours_p50_us_eps" + std::to_string(e_ms),
+                  ours_p50.to_micros());
+    result.metric("commit_wait_p50_us_eps" + std::to_string(e_ms),
+                  wait_p50.to_micros());
   }
-  eps.print(std::cout);
-
-  std::cout << "\nExpected shape: E6a — ours spikes only at write #4 (by\n"
-               "~LeasePeriod), all-ack spikes on every write 4..10; E6b —\n"
-               "ours flat, commit-wait grows linearly with epsilon.\n";
-  return 0;
+  result.note(
+      "Expected shape: E6a — ours spikes only at write #4 (by\n"
+      "~LeasePeriod), all-ack spikes on every write 4..10; E6b —\n"
+      "ours flat, commit-wait grows linearly with epsilon.");
+  result.end();
+  return result.finish();
 }

@@ -12,10 +12,9 @@
 
 namespace cht::bench {
 
-inline void print_experiment_header(const std::string& id,
-                                    const std::string& claim) {
-  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
-}
+// Experiment headers/tables/artifacts are declared through ExperimentResult
+// (common/experiment.h); this header keeps only the small formatting and
+// history helpers.
 
 inline std::string us(Duration d) {
   return metrics::Table::num(static_cast<std::int64_t>(d.to_micros()));

@@ -31,7 +31,7 @@ int main() {
   cluster.await_quiesce(Duration::seconds(5));
   stamp();
   std::cout << "put(inventory, 42) committed (batch "
-            << cluster.replica(leader1).applied_upto() << ")\n";
+            << cluster.replica(leader1).snapshot().applied_upto << ")\n";
 
   // Submit a write and kill the leader while it is being prepared.
   cluster.submit(2, object::KVObject::put("inventory", "41"));
@@ -74,9 +74,10 @@ int main() {
     }
   }
 
-  const auto& stats = cluster.replica(leader2).stats();
-  std::cout << "\nnew leader committed " << stats.batches_committed_as_leader
+  const auto& metrics = cluster.replica(leader2).metrics();
+  std::cout << "\nnew leader committed "
+            << metrics.value("batches_committed_as_leader")
             << " batches since taking over; became leader "
-            << stats.became_leader << "x\n";
+            << metrics.value("became_leader") << "x\n";
   return 0;
 }

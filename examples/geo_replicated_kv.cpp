@@ -30,7 +30,7 @@ RunResult run(core::ReadPolicy policy) {
   config.seed = 2024;
   config.delta = Duration::millis(40);  // wide-area delay bound
   harness::Cluster cluster(config, std::make_shared<object::KVObject>(),
-                           [&](core::Config& c) { c.read_policy = policy; });
+                           core::ConfigOverrides{.read_policy = policy});
   cluster.await_steady_leader(Duration::seconds(10));
   cluster.run_for(Duration::seconds(2));
 

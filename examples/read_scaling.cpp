@@ -31,7 +31,7 @@ Outcome run(int n, core::ReadPolicy policy) {
   config.seed = 1234;
   config.delta = Duration::millis(10);
   harness::Cluster cluster(config, std::make_shared<object::KVObject>(),
-                           [&](core::Config& c) { c.read_policy = policy; });
+                           core::ConfigOverrides{.read_policy = policy});
   cluster.await_steady_leader(Duration::seconds(5));
   cluster.submit(0, object::KVObject::put("page", "content"));
   cluster.await_quiesce(Duration::seconds(5));

@@ -34,7 +34,8 @@ class ChtreadAdapter final : public ClusterAdapter {
  public:
   ChtreadAdapter(const RunSpec& spec,
                  std::shared_ptr<const object::ObjectModel> model)
-      : cluster_(cluster_config(spec), std::move(model)) {}
+      : cluster_(cluster_config(spec), std::move(model),
+                 core::ConfigOverrides{}) {}
 
   const std::string& protocol() const override {
     static const std::string kName = "chtread";
@@ -74,12 +75,13 @@ class ChtreadAdapter final : public ClusterAdapter {
     // identical (the "pre-determined order, the same for all processes").
     for (int i = 0; i < n(); ++i) {
       if (cluster_.replica(i).crashed()) continue;
+      const auto si = cluster_.replica(i).snapshot();
       for (int j = i + 1; j < n(); ++j) {
         if (cluster_.replica(j).crashed()) continue;
-        const auto upto = std::min(cluster_.replica(i).applied_upto(),
-                                   cluster_.replica(j).applied_upto());
-        const auto& a = cluster_.replica(i).batches();
-        const auto& b = cluster_.replica(j).batches();
+        const auto sj = cluster_.replica(j).snapshot();
+        const auto upto = std::min(si.applied_upto, sj.applied_upto);
+        const auto& a = si.batches;
+        const auto& b = sj.batches;
         for (BatchNumber k = 1; k <= upto; ++k) {
           const auto ia = a.find(k);
           const auto ib = b.find(k);
@@ -98,9 +100,13 @@ class ChtreadAdapter final : public ClusterAdapter {
   std::int64_t leadership_changes() override {
     std::int64_t total = 0;
     for (int i = 0; i < n(); ++i) {
-      total += cluster_.replica(i).stats().became_leader;
+      total += cluster_.replica(i).metrics().value("became_leader");
     }
     return total;
+  }
+
+  void merge_metrics_into(metrics::Registry& out) override {
+    cluster_.merge_metrics_into(out);
   }
 
  private:
@@ -181,6 +187,12 @@ class RaftAdapter final : public ClusterAdapter {
     return total;
   }
 
+  void merge_metrics_into(metrics::Registry& out) override {
+    for (int i = 0; i < n(); ++i) {
+      out.merge_from(cluster_.replica(i).metrics());
+    }
+  }
+
  private:
   std::string name_;
   harness::RaftCluster cluster_;
@@ -257,6 +269,12 @@ class VrAdapter final : public ClusterAdapter {
       total += cluster_.replica(i).stats().views_led;
     }
     return total;
+  }
+
+  void merge_metrics_into(metrics::Registry& out) override {
+    for (int i = 0; i < n(); ++i) {
+      out.merge_from(cluster_.replica(i).metrics());
+    }
   }
 
  private:

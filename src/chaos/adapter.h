@@ -16,6 +16,7 @@
 #include "checker/history.h"
 #include "chaos/spec.h"
 #include "common/time.h"
+#include "metrics/registry.h"
 #include "object/object.h"
 #include "sim/simulation.h"
 
@@ -54,6 +55,10 @@ class ClusterAdapter {
   // Total leadership acquisitions (reigns begun / terms won / views led)
   // across the cluster — a cheap "how eventful was this run" metric.
   virtual std::int64_t leadership_changes() = 0;
+
+  // Merges every replica's metric registry (counters, protocol-phase span
+  // histograms) into `out`. Read-only aggregation; safe at any quiet point.
+  virtual void merge_metrics_into(metrics::Registry& out) = 0;
 
   void run_for(Duration d) { sim().run_until(sim().now() + d); }
 };

@@ -51,6 +51,9 @@ class EvilAdapter final : public ClusterAdapter {
   std::int64_t leadership_changes() override {
     return inner_->leadership_changes();
   }
+  void merge_metrics_into(metrics::Registry& out) override {
+    inner_->merge_metrics_into(out);
+  }
 
   std::size_t stale_served() const { return stale_served_; }
 

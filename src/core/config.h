@@ -10,6 +10,11 @@
 //   - retry/resend intervals of a few delta to ride out pre-GST loss.
 #pragma once
 
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/time.h"
 #include "leader/enhanced_leader.h"
 #include "leader/omega.h"
@@ -84,6 +89,11 @@ struct Config {
   leader::OmegaConfig omega;
   leader::EnhancedLeaderConfig els;
 
+  // Whether each replica's metrics::Registry records anything. Metrics never
+  // feed back into protocol decisions, so this flag cannot change simulation
+  // behaviour (asserted by test_observability's determinism check).
+  bool metrics_enabled = true;
+
   static Config defaults_for(Duration delta, Duration epsilon) {
     Config c;
     c.delta = delta;
@@ -107,6 +117,96 @@ struct Config {
 
   static Config defaults() {
     return defaults_for(Duration::millis(10), Duration::millis(1));
+  }
+};
+
+inline const char* to_string(CommitGate gate) {
+  switch (gate) {
+    case CommitGate::kLeaseholders:
+      return "leaseholders";
+    case CommitGate::kAllProcesses:
+      return "all_processes";
+    case CommitGate::kMajorityOnly:
+      return "majority_only";
+  }
+  return "?";
+}
+
+inline const char* to_string(ReadPolicy policy) {
+  switch (policy) {
+    case ReadPolicy::kLocalLease:
+      return "local_lease";
+    case ReadPolicy::kLeaderForward:
+      return "leader_forward";
+    case ReadPolicy::kAnyPendingBlocks:
+      return "any_pending_blocks";
+    case ReadPolicy::kSafeTime:
+      return "safe_time";
+    case ReadPolicy::kUnsafeLocal:
+      return "unsafe_local";
+  }
+  return "?";
+}
+
+// Declarative experiment-level deviations from `Config::defaults_for`. This
+// replaces the old opaque `std::function<void(Config&)>` tweak callback:
+// every field an experiment may vary is a named optional, so harnesses can
+// print and serialize exactly what a run changed (the JSON artifacts embed
+// `entries()` verbatim). Unset fields leave the computed defaults alone;
+// `apply()` runs after `defaults_for(delta, epsilon)` has filled the config.
+struct ConfigOverrides {
+  std::optional<ReadPolicy> read_policy;
+  std::optional<CommitGate> commit_gate;
+  std::optional<Duration> commit_wait;
+  std::optional<Duration> lease_period;
+  std::optional<Duration> lease_renew_interval;
+  std::optional<Duration> anti_entropy_interval;
+  std::optional<Duration> rmw_retry;
+  std::optional<bool> metrics_enabled;
+
+  void apply(Config& config) const {
+    if (read_policy) config.read_policy = *read_policy;
+    if (commit_gate) config.commit_gate = *commit_gate;
+    if (commit_wait) config.commit_wait = *commit_wait;
+    if (lease_period) config.lease_period = *lease_period;
+    if (lease_renew_interval) {
+      config.lease_renew_interval = *lease_renew_interval;
+    }
+    if (anti_entropy_interval) {
+      config.anti_entropy_interval = *anti_entropy_interval;
+    }
+    if (rmw_retry) config.rmw_retry = *rmw_retry;
+    if (metrics_enabled) config.metrics_enabled = *metrics_enabled;
+  }
+
+  bool empty() const {
+    return !read_policy && !commit_gate && !commit_wait && !lease_period &&
+           !lease_renew_interval && !anti_entropy_interval && !rmw_retry &&
+           !metrics_enabled;
+  }
+
+  // The set fields as (name, value) strings, in declaration order — the
+  // printable/serializable form used by tables and JSON artifacts.
+  std::vector<std::pair<std::string, std::string>> entries() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    const auto us = [](Duration d) {
+      return std::to_string(d.to_micros()) + "us";
+    };
+    if (read_policy) out.emplace_back("read_policy", to_string(*read_policy));
+    if (commit_gate) out.emplace_back("commit_gate", to_string(*commit_gate));
+    if (commit_wait) out.emplace_back("commit_wait", us(*commit_wait));
+    if (lease_period) out.emplace_back("lease_period", us(*lease_period));
+    if (lease_renew_interval) {
+      out.emplace_back("lease_renew_interval", us(*lease_renew_interval));
+    }
+    if (anti_entropy_interval) {
+      out.emplace_back("anti_entropy_interval", us(*anti_entropy_interval));
+    }
+    if (rmw_retry) out.emplace_back("rmw_retry", us(*rmw_retry));
+    if (metrics_enabled) {
+      out.emplace_back("metrics_enabled", *metrics_enabled ? "true" : "false");
+    }
+    return out;
   }
 };
 

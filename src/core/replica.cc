@@ -17,7 +17,67 @@ Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
     : model_(std::move(model)),
       config_(config),
       omega_(*this, config_.omega),
-      els_(*this, [this] { return omega_.leader(); }, config_.els) {}
+      els_(*this, [this] { return omega_.leader(); }, config_.els),
+      metrics_(config_.metrics_enabled) {
+  // Register every metric up front: the record path then only touches
+  // pre-allocated storage, and exported artifacts list the full inventory
+  // even for phases that never ran.
+  c_rmws_submitted_ = &metrics_.counter("rmws_submitted");
+  c_rmws_completed_ = &metrics_.counter("rmws_completed");
+  c_reads_submitted_ = &metrics_.counter("reads_submitted");
+  c_reads_completed_ = &metrics_.counter("reads_completed");
+  c_reads_blocked_ = &metrics_.counter("reads_blocked");
+  c_batches_committed_ = &metrics_.counter("batches_committed_as_leader");
+  c_became_leader_ = &metrics_.counter("became_leader");
+  c_abdicated_ = &metrics_.counter("abdicated");
+  h_read_block_ = &metrics_.histogram("span.read.block_us");
+  h_lease_interval_ = &metrics_.histogram("span.lease.interval_us");
+  span_doops_prepare_ =
+      metrics::Span(&metrics_.histogram("span.doops.prepare_us"));
+  span_doops_gate_ = metrics::Span(&metrics_.histogram("span.doops.gate_us"));
+  span_doops_total_ = metrics::Span(&metrics_.histogram("span.doops.total_us"));
+  span_leader_init_ = metrics::Span(&metrics_.histogram("span.leader.init_us"));
+  span_leader_reign_ =
+      metrics::Span(&metrics_.histogram("span.leader.reign_us"));
+}
+
+void Replica::end_span(metrics::Span& span, const char* name) {
+  const std::int64_t us = span.end(now_local().to_micros());
+  if (us >= 0 && tracing()) trace_event(name, "us=" + std::to_string(us));
+}
+
+Replica::Snapshot Replica::snapshot() {
+  Snapshot s;
+  s.phase = phase_;
+  s.steady_leader = is_steady_leader();
+  s.applied_upto = applied_upto_;
+  s.max_known_batch = max_known_batch_;
+  s.estimate = estimate_;
+  s.lease = lease_;
+  s.leaseholders = leaseholders_;
+  s.batches = batches_;
+  s.pending_reads = pending_reads_.size();
+  s.pending_rmws = pending_rmw_.size();
+  s.forwarded_reads = forwarded_reads_.size();
+  return s;
+}
+
+Replica::Stats Replica::stats_from_registry() const {
+  Stats s;
+  s.rmws_submitted = metrics_.value("rmws_submitted");
+  s.rmws_completed = metrics_.value("rmws_completed");
+  s.reads_submitted = metrics_.value("reads_submitted");
+  s.reads_completed = metrics_.value("reads_completed");
+  s.reads_blocked = metrics_.value("reads_blocked");
+  s.batches_committed_as_leader = metrics_.value("batches_committed_as_leader");
+  s.became_leader = metrics_.value("became_leader");
+  s.abdicated = metrics_.value("abdicated");
+  if (const auto* h = metrics_.find_histogram("span.read.block_us")) {
+    s.max_read_block = Duration::micros(h->max());
+    s.total_read_block = Duration::micros(h->sum());
+  }
+  return s;
+}
 
 void Replica::on_start() {
   state_ = model_->make_initial_state();
@@ -33,7 +93,7 @@ void Replica::on_start() {
 
 void Replica::submit_rmw(object::Operation op, Callback callback) {
   CHT_ASSERT(!model_->is_read(op), "submit_rmw called with a read operation");
-  ++stats_.rmws_submitted;
+  c_rmws_submitted_->inc();
   const OperationId id{this->id(), ++rmw_seq_};
   auto [it, inserted] =
       pending_rmw_.try_emplace(id, PendingRmw{std::move(op), std::move(callback),
@@ -64,17 +124,17 @@ void Replica::complete_rmw(const OperationId& id,
   auto node = pending_rmw_.extract(id);
   if (node.empty()) return;
   node.mapped().retry_timer.cancel();
-  ++stats_.rmws_completed;
+  c_rmws_completed_->inc();
   if (node.mapped().callback) node.mapped().callback(response);
 }
 
 void Replica::submit_read(object::Operation op, Callback callback) {
   CHT_ASSERT(model_->is_read(op), "submit_read called with a RMW operation");
-  ++stats_.reads_submitted;
+  c_reads_submitted_->inc();
   if (config_.read_policy == ReadPolicy::kLeaderForward) {
     // Baseline: every read travels to the leader and back (never local,
     // always blocking).
-    ++stats_.reads_blocked;
+    c_reads_blocked_->inc();
     const OperationId id{this->id(), ++read_seq_};
     forwarded_reads_.try_emplace(
         id, ForwardedRead{std::move(op), std::move(callback), now_real(),
@@ -90,7 +150,7 @@ void Replica::submit_read(object::Operation op, Callback callback) {
     pending_reads_.erase(it);  // non-blocking read: completed synchronously
   } else {
     it->counted_blocked = true;
-    ++stats_.reads_blocked;
+    c_reads_blocked_->inc();
   }
 }
 
@@ -151,11 +211,15 @@ bool Replica::try_advance_read(PendingRead& read) {
   }
   if (applied_upto_ < *read.khat) return false;  // wait for batches <= k-hat
   const object::Response response = model_->apply(*state_, read.op);
-  ++stats_.reads_completed;
+  c_reads_completed_->inc();
   if (read.counted_blocked) {
-    const Duration blocked = now_real() - read.invoked;
-    stats_.max_read_block = std::max(stats_.max_read_block, blocked);
-    stats_.total_read_block = stats_.total_read_block + blocked;
+    // The k-hat wait span: invocation to completion, real time. Reads that
+    // completed synchronously never blocked and are not recorded.
+    const std::int64_t blocked_us = (now_real() - read.invoked).to_micros();
+    h_read_block_->record(blocked_us);
+    if (tracing()) {
+      trace_event("span.read.block", "us=" + std::to_string(blocked_us));
+    }
   }
   if (read.callback) read.callback(response);
   return true;
@@ -187,7 +251,9 @@ bool Replica::is_steady_leader() {
 void Replica::become_leader(LocalTime t) {
   CHT_DEBUG(kTag) << id() << " becomes leader at " << t;
   trace_event("leader.become", "t=" + std::to_string(t.to_micros()));
-  ++stats_.became_leader;
+  c_became_leader_->inc();
+  span_leader_init_.begin(t.to_micros());
+  span_leader_reign_.begin(t.to_micros());
   phase_ = Phase::kCollecting;
   leader_time_ = t;
   est_replies_.clear();
@@ -209,7 +275,14 @@ void Replica::become_leader(LocalTime t) {
 void Replica::abdicate() {
   CHT_DEBUG(kTag) << id() << " abdicates (reign " << leader_time_ << ")";
   trace_event("leader.abdicate");
-  ++stats_.abdicated;
+  c_abdicated_->inc();
+  end_span(span_leader_reign_, "span.leader.reign");
+  // A reign that never reached steady, or a DoOps cut short, has no
+  // meaningful phase duration: disarm rather than record.
+  span_leader_init_.cancel();
+  span_doops_prepare_.cancel();
+  span_doops_gate_.cancel();
+  span_doops_total_.cancel();
   phase_ = Phase::kFollower;
   estreq_timer_.cancel();
   fetch_timer_.cancel();
@@ -331,6 +404,8 @@ void Replica::start_doops(Batch ops, BatchNumber number, bool initial) {
   doops_->initial = initial;
   doops_->ackers.insert(id().index());
   doops_->prepare_started = now_local();
+  span_doops_prepare_.begin(doops_->prepare_started.to_micros());
+  span_doops_total_.begin(doops_->prepare_started.to_micros());
   // Line 53: adopt (O, t, j) as our own estimate.
   adopt_estimate(std::move(ops), leader_time_, number);
   send_prepares();
@@ -344,6 +419,8 @@ void Replica::maybe_reach_majority() {
   }
   doops_->majority_reached = true;
   doops_->resend_timer.cancel();
+  end_span(span_doops_prepare_, "span.doops.prepare");
+  span_doops_gate_.begin(now_local().to_micros());
   // Condition (ii) of the leaseholder gate: 2*delta since Prepares started
   // (the worst-case round trip after stabilization).
   doops_->gate_timer =
@@ -452,7 +529,9 @@ void Replica::finish_doops() {
   leader_next_batch_ = number + 1;
   broadcast(msg::kCommit, msg::Commit{ops, number});
   last_commit_rebroadcast_ = now_real();
-  ++stats_.batches_committed_as_leader;
+  c_batches_committed_->inc();
+  end_span(span_doops_gate_, "span.doops.gate");
+  end_span(span_doops_total_, "span.doops.total");
   trace_event("batch.commit", "j=" + std::to_string(number) + " ops=" +
                                   std::to_string(ops.size()));
   CHT_DEBUG(kTag) << id() << " committed batch " << number << " ("
@@ -473,6 +552,7 @@ void Replica::finish_doops() {
 
 void Replica::enter_steady() {
   phase_ = Phase::kSteady;
+  end_span(span_leader_init_, "span.leader.init");
   if (!chosen_.has_value()) {
     // First-ever leader: still announce read leases and liveness NoOp.
     submit_rmw(object::no_op(), Callback());
@@ -514,6 +594,12 @@ void Replica::issue_leases(LocalTime now) {
   if (last_lease_issued_ != LocalTime::min() &&
       now - last_lease_issued_ < config_.lease_renew_interval) {
     return;
+  }
+  if (last_lease_issued_ != LocalTime::min()) {
+    // Renewal cadence within a reign: how far apart consecutive LeaseGrant
+    // broadcasts actually land (>= lease_renew_interval; stretched by
+    // in-flight DoOps rounds, which defer renewals).
+    h_lease_interval_->record((now - last_lease_issued_).to_micros());
   }
   last_lease_issued_ = now;
   trace_event("lease.grant",
@@ -630,10 +716,13 @@ void Replica::on_read_reply(const msg::ReadReply& reply) {
   auto node = forwarded_reads_.extract(reply.id);
   if (node.empty()) return;
   node.mapped().retry_timer.cancel();
-  ++stats_.reads_completed;
-  const Duration blocked = now_real() - node.mapped().invoked;
-  stats_.max_read_block = std::max(stats_.max_read_block, blocked);
-  stats_.total_read_block = stats_.total_read_block + blocked;
+  c_reads_completed_->inc();
+  const std::int64_t blocked_us =
+      (now_real() - node.mapped().invoked).to_micros();
+  h_read_block_->record(blocked_us);
+  if (tracing()) {
+    trace_event("span.read.block", "us=" + std::to_string(blocked_us));
+  }
   if (node.mapped().callback) node.mapped().callback(reply.response);
 }
 

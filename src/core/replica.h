@@ -42,6 +42,8 @@
 #include "core/messages.h"
 #include "leader/enhanced_leader.h"
 #include "leader/omega.h"
+#include "metrics/registry.h"
+#include "metrics/span.h"
 #include "object/object.h"
 #include "sim/process.h"
 
@@ -63,6 +65,40 @@ class Replica : public sim::Process {
   void on_message(const sim::Message& message) override;
 
   // --- Introspection (tests, invariant checkers, benches) -------------------
+  enum class Phase { kFollower, kCollecting, kFetching, kInitDoOps, kSteady };
+
+  // One coherent copy of the externally observable protocol state, taken at
+  // a single instant. Replaces the former pile of ad-hoc getters
+  // (applied_upto()/max_known_batch()/lease()/leaseholders()/...): callers
+  // snapshot once and read fields, so cross-field checks cannot interleave
+  // with protocol events. Copies the batch store — do not call inside
+  // run_until() polling predicates (use is_steady_leader() there).
+  struct Snapshot {
+    Phase phase = Phase::kFollower;
+    bool steady_leader = false;  // steady phase and AmLeader still holds
+    BatchNumber applied_upto = 0;
+    BatchNumber max_known_batch = 0;
+    std::optional<Estimate> estimate;
+    std::optional<Lease> lease;
+    std::set<int> leaseholders;
+    std::map<BatchNumber, Batch> batches;
+    std::size_t pending_reads = 0;
+    std::size_t pending_rmws = 0;
+    std::size_t forwarded_reads = 0;
+  };
+  // Non-const: steady_leader evaluates AmLeader against the current clock.
+  Snapshot snapshot();
+
+  bool is_steady_leader();  // cheap form for run_until() polling predicates
+
+  // Observability: protocol counters and span histograms (metric inventory
+  // in docs/OBSERVABILITY.md). Enabled iff Config::metrics_enabled; never
+  // read by protocol logic, so it cannot affect simulation behaviour.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
+  // Transitional shim: these counters now live in metrics(). Reconstructs
+  // the old value struct from the registry.
   struct Stats {
     std::int64_t rmws_submitted = 0;
     std::int64_t rmws_completed = 0;
@@ -75,26 +111,17 @@ class Replica : public sim::Process {
     std::int64_t became_leader = 0;
     std::int64_t abdicated = 0;
   };
+  [[deprecated("read the metrics() registry (counters/span histograms)")]]
+  Stats stats() const { return stats_from_registry(); }
 
-  enum class Phase { kFollower, kCollecting, kFetching, kInitDoOps, kSteady };
-
-  const Stats& stats() const { return stats_; }
-  Phase phase() const { return phase_; }
-  bool is_steady_leader();  // steady phase and AmLeader still holds
-  BatchNumber applied_upto() const { return applied_upto_; }
-  BatchNumber max_known_batch() const { return max_known_batch_; }
-  const std::map<BatchNumber, Batch>& batches() const { return batches_; }
-  const std::optional<Estimate>& estimate() const { return estimate_; }
-  const std::optional<Lease>& lease() const { return lease_; }
-  const std::set<int>& leaseholders() const { return leaseholders_; }
   const object::ObjectState& applied_state() const { return *state_; }
   const object::ObjectModel& model() const { return *model_; }
-  std::size_t pending_read_count() const { return pending_reads_.size(); }
-  std::size_t pending_rmw_count() const { return pending_rmw_.size(); }
   leader::EnhancedLeaderService& leader_service() { return els_; }
   const Config& config() const { return config_; }
 
  private:
+  Stats stats_from_registry() const;
+
   // --- Leader state machine -------------------------------------------------
   struct DoOpsState {
     Batch ops;
@@ -185,6 +212,26 @@ class Replica : public sim::Process {
   leader::OmegaDetector omega_;
   leader::EnhancedLeaderService els_;
 
+  // --- Observability (write-only from protocol code) ---
+  metrics::Registry metrics_;
+  metrics::Counter* c_rmws_submitted_;
+  metrics::Counter* c_rmws_completed_;
+  metrics::Counter* c_reads_submitted_;
+  metrics::Counter* c_reads_completed_;
+  metrics::Counter* c_reads_blocked_;
+  metrics::Counter* c_batches_committed_;
+  metrics::Counter* c_became_leader_;
+  metrics::Counter* c_abdicated_;
+  metrics::Histogram* h_read_block_;    // k-hat wait of blocked reads
+  metrics::Histogram* h_lease_interval_;
+  metrics::Span span_doops_prepare_;    // Prepare broadcast -> majority acks
+  metrics::Span span_doops_gate_;       // majority -> leaseholder gate clear
+  metrics::Span span_doops_total_;      // Prepare broadcast -> commit
+  metrics::Span span_leader_init_;      // become_leader -> steady
+  metrics::Span span_leader_reign_;     // become_leader -> abdicate
+  // Ends a protocol-phase span and mirrors it into sim::Trace.
+  void end_span(metrics::Span& span, const char* name);
+
   // --- Persistent per-process algorithm state (all three threads) ---
   std::map<BatchNumber, Batch> batches_;                    // Batch[]
   std::optional<Estimate> estimate_;                        // (Ops, ts, k)
@@ -226,8 +273,6 @@ class Replica : public sim::Process {
   sim::EventHandle steady_timer_;
   sim::EventHandle anti_entropy_timer_;
   RealTime last_commit_rebroadcast_ = RealTime::zero();
-
-  Stats stats_;
 };
 
 }  // namespace cht::core

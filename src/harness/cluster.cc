@@ -4,16 +4,23 @@ namespace cht::harness {
 
 Cluster::Cluster(ClusterConfig config,
                  std::shared_ptr<const object::ObjectModel> model,
-                 std::function<void(core::Config&)> tweak)
+                 core::ConfigOverrides overrides)
     : config_(config),
       model_(std::move(model)),
+      overrides_(std::move(overrides)),
       core_config_(core::Config::defaults_for(config.delta, config.epsilon)),
       sim_(config.to_sim_config()) {
-  if (tweak) tweak(core_config_);
+  overrides_.apply(core_config_);
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(std::make_unique<core::Replica>(model_, core_config_));
   }
   sim_.start();
+}
+
+void Cluster::merge_metrics_into(metrics::Registry& out) {
+  for (int i = 0; i < config_.n; ++i) {
+    out.merge_from(replica(i).metrics());
+  }
 }
 
 void Cluster::submit(int i, object::Operation op,

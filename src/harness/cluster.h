@@ -3,7 +3,6 @@
 // the linearizability checker.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,11 +40,12 @@ struct ClusterConfig {
 
 class Cluster {
  public:
-  // `tweak` may adjust the derived core::Config (read policy, commit gate,
-  // commit wait) before the replicas are constructed.
+  // `overrides` names the experiment's deviations from the derived
+  // core::Config (read policy, commit gate, lease timing, ...) and is kept
+  // for introspection: harnesses print/serialize it into bench artifacts.
   Cluster(ClusterConfig config,
           std::shared_ptr<const object::ObjectModel> model,
-          std::function<void(core::Config&)> tweak = nullptr);
+          core::ConfigOverrides overrides = {});
 
   sim::Simulation& sim() { return sim_; }
   int n() const { return config_.n; }
@@ -56,6 +56,11 @@ class Cluster {
   checker::HistoryRecorder& history() { return history_; }
   const ClusterConfig& config() const { return config_; }
   const core::Config& core_config() const { return core_config_; }
+  const core::ConfigOverrides& overrides() const { return overrides_; }
+
+  // Merges all replicas' registries (name-matched) into `out`, giving one
+  // cluster-wide observability view.
+  void merge_metrics_into(metrics::Registry& out);
 
   // Submits an operation via process i, recording it in the history. The
   // optional callback also receives the response (after recording).
@@ -80,6 +85,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   std::shared_ptr<const object::ObjectModel> model_;
+  core::ConfigOverrides overrides_;
   core::Config core_config_;
   sim::Simulation sim_;
   checker::HistoryRecorder history_;

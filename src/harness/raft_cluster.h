@@ -19,6 +19,7 @@ class RaftCluster {
 
   sim::Simulation& sim() { return sim_; }
   int n() const { return config_.n; }
+  const ClusterConfig& config() const { return config_; }
   raft::RaftReplica& replica(int i) {
     return sim_.process_as<raft::RaftReplica>(ProcessId(i));
   }

@@ -18,6 +18,7 @@ class VrCluster {
 
   sim::Simulation& sim() { return sim_; }
   int n() const { return config_.n; }
+  const ClusterConfig& config() const { return config_; }
   vr::VrReplica& replica(int i) {
     return sim_.process_as<vr::VrReplica>(ProcessId(i));
   }

@@ -1,0 +1,72 @@
+// Protocol-phase spans: named durations that start in one event handler and
+// end in another (a DoOps round, a leader reign, a blocked read). Because a
+// phase crosses many simulator events, the primary primitive is the manual
+// begin/end `Span`; `ScopedSpan` is the RAII form for phases confined to one
+// scope. Both feed a `Histogram`, and call sites additionally emit a
+// `trace_event("span.<name>", ...)` so spans land in `sim::Trace` next to
+// the message-level trace.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/registry.h"
+
+namespace cht::metrics {
+
+// A manually delimited phase. `begin(now)` arms it, `end(now)` records
+// now - begin into the histogram and returns the duration (or -1 if the span
+// was not active — e.g. a commit observed by a replica that never ran the
+// prepare). Re-arming an active span restarts it; `cancel()` disarms without
+// recording (e.g. a DoOps round abandoned on abdication).
+class Span {
+ public:
+  Span() = default;
+  explicit Span(Histogram* histogram) : histogram_(histogram) {}
+
+  bool active() const { return active_; }
+  std::int64_t begin_at() const { return begin_; }
+
+  void begin(std::int64_t now) {
+    begin_ = now;
+    active_ = true;
+  }
+
+  std::int64_t end(std::int64_t now) {
+    if (!active_) return -1;
+    active_ = false;
+    std::int64_t elapsed = now - begin_;
+    if (elapsed < 0) elapsed = 0;
+    if (histogram_ != nullptr) histogram_->record(elapsed);
+    return elapsed;
+  }
+
+  void cancel() { active_ = false; }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::int64_t begin_ = 0;
+  bool active_ = false;
+};
+
+// RAII span for phases that do fit one scope. The clock is read through a
+// pointer so tests (and real-time callers) control it; spans nest naturally
+// by scoping.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram& histogram, const std::int64_t* clock)
+      : histogram_(histogram), clock_(clock), begin_(*clock) {}
+  ~ScopedSpan() {
+    std::int64_t elapsed = *clock_ - begin_;
+    if (elapsed < 0) elapsed = 0;
+    histogram_.record(elapsed);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram& histogram_;
+  const std::int64_t* clock_;
+  std::int64_t begin_;
+};
+
+}  // namespace cht::metrics

@@ -13,7 +13,10 @@ constexpr const char* kTag = "raft";
 
 RaftReplica::RaftReplica(std::shared_ptr<const object::ObjectModel> model,
                          RaftConfig config)
-    : model_(std::move(model)), config_(config) {}
+    : model_(std::move(model)), config_(config) {
+  span_election_ = metrics::Span(&metrics_.histogram("span.election_us"));
+  h_readindex_round_ = &metrics_.histogram("span.readindex.round_us");
+}
 
 void RaftReplica::on_start() {
   state_ = model_->make_initial_state();
@@ -39,6 +42,9 @@ void RaftReplica::reset_election_timer() {
 void RaftReplica::start_election() {
   if (role_ == Role::kLeader) return;
   ++stats_.elections_started;
+  // The election span restarts on every timeout, so it measures the round
+  // that actually won, not the full leaderless stretch.
+  span_election_.begin(now_local().to_micros());
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = id().index();
@@ -57,6 +63,7 @@ void RaftReplica::become_follower(std::int64_t term) {
     voted_for_.reset();
   }
   role_ = Role::kFollower;
+  span_election_.cancel();
   if (was_leader) {
     heartbeat_timer_.cancel();
     leader_reads_.clear();  // requesters retry against the new leader
@@ -67,6 +74,10 @@ void RaftReplica::become_follower(std::int64_t term) {
 void RaftReplica::become_leader() {
   CHT_DEBUG(kTag) << id() << " wins term " << term_;
   ++stats_.terms_won;
+  const std::int64_t election_us = span_election_.end(now_local().to_micros());
+  if (election_us >= 0 && tracing()) {
+    trace_event("span.election", "us=" + std::to_string(election_us));
+  }
   role_ = Role::kLeader;
   leader_hint_ = id();
   next_index_.assign(cluster_size(), last_log_index() + 1);
@@ -344,8 +355,9 @@ void RaftReplica::on_client_read(ProcessId from, const msg::ClientRead& read) {
   // ReadIndex: record the commit index and confirm leadership with a fresh
   // heartbeat round before answering.
   ++probe_seq_;
-  leader_reads_.push_back(
-      PendingLeaderRead{from, read.id, read.op, commit_index_, probe_seq_});
+  leader_reads_.push_back(PendingLeaderRead{from, read.id, read.op,
+                                            commit_index_, probe_seq_,
+                                            now_local()});
   for (int i = 0; i < cluster_size(); ++i) {
     if (i != id().index()) send_append(ProcessId(i));
   }
@@ -391,6 +403,11 @@ void RaftReplica::maybe_answer_reads() {
 }
 
 void RaftReplica::answer_read(const PendingLeaderRead& read) {
+  const std::int64_t round_us = (now_local() - read.enqueued).to_micros();
+  h_readindex_round_->record(round_us);
+  if (tracing()) {
+    trace_event("span.readindex.round", "us=" + std::to_string(round_us));
+  }
   const object::Response response = model_->apply(*state_, read.op);
   const msg::ReadReply reply{read.id, response};
   if (read.from == id()) {

@@ -35,6 +35,8 @@
 
 #include "common/time.h"
 #include "common/types.h"
+#include "metrics/registry.h"
+#include "metrics/span.h"
 #include "object/object.h"
 #include "sim/process.h"
 
@@ -161,6 +163,11 @@ class RaftReplica : public sim::Process {
   const Stats& stats() const { return stats_; }
   const object::ObjectState& applied_state() const { return *state_; }
 
+  // Observability: span histograms for the election round and the ReadIndex
+  // confirmation round (see docs/OBSERVABILITY.md).
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
  private:
   struct PendingClientOp {
     object::Operation op;
@@ -176,6 +183,7 @@ class RaftReplica : public sim::Process {
     object::Operation op;
     std::int64_t read_index;
     std::int64_t probe_seq;
+    LocalTime enqueued;  // leader-local arrival, for the round span
   };
 
   // --- Roles & elections ---
@@ -249,6 +257,11 @@ class RaftReplica : public sim::Process {
   std::map<OperationId, PendingClientOp> pending_ops_;
 
   Stats stats_;
+
+  // Observability (write-only from protocol code).
+  metrics::Registry metrics_;
+  metrics::Span span_election_;         // start_election -> term won
+  metrics::Histogram* h_readindex_round_;  // read arrival -> answered
 };
 
 }  // namespace cht::raft

@@ -60,6 +60,9 @@ class Process {
 
   // Records a protocol-level trace event (no-op unless tracing is enabled).
   void trace_event(std::string category, std::string detail = "") const;
+  // True when the simulation's trace is recording. Lets hot paths skip
+  // building trace_event detail strings entirely (e.g. span-end events).
+  bool tracing() const;
 
  protected:
   Process() = default;

@@ -109,6 +109,11 @@ void Process::trace_event(std::string category, std::string detail) const {
                        std::move(detail));
 }
 
+bool Process::tracing() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->trace().enabled();
+}
+
 EventHandle Process::schedule_after(Duration delay, std::function<void()> fn) {
   CHT_ASSERT(sim_ != nullptr, "process not attached");
   if (crashed_) return EventHandle();

@@ -13,7 +13,17 @@ constexpr const char* kTag = "vr";
 
 VrReplica::VrReplica(std::shared_ptr<const object::ObjectModel> model,
                      VrConfig config)
-    : model_(std::move(model)), config_(config) {}
+    : model_(std::move(model)), config_(config) {
+  span_viewchange_ =
+      metrics::Span(&metrics_.histogram("span.viewchange_us"));
+}
+
+void VrReplica::end_viewchange_span() {
+  const std::int64_t us = span_viewchange_.end(now_local().to_micros());
+  if (us >= 0 && tracing()) {
+    trace_event("span.viewchange", "us=" + std::to_string(us));
+  }
+}
 
 void VrReplica::on_start() {
   state_ = model_->make_initial_state();
@@ -173,6 +183,11 @@ void VrReplica::begin_view_change(std::int64_t new_view) {
     dvc_received_.clear();
     dvc_sent_ = false;
   }
+  // Span the whole leaderless stretch: successive ineffective views extend
+  // one span rather than restarting it.
+  if (!span_viewchange_.active()) {
+    span_viewchange_.begin(now_local().to_micros());
+  }
   status_ = Status::kViewChange;
   heartbeat_timer_.cancel();
   svc_votes_.insert(id().index());
@@ -246,6 +261,7 @@ void VrReplica::maybe_become_primary() {
   ids_in_log_.clear();
   for (const auto& entry : log_) ids_in_log_.insert(entry.id);
   status_ = Status::kNormal;
+  end_viewchange_span();
   last_normal_view_ = view_;
   acked_op_.assign(cluster_size(), 0);
   view_timer_.cancel();
@@ -266,6 +282,7 @@ void VrReplica::on_start_view(ProcessId from, const msg::StartView& m) {
   ids_in_log_.clear();
   for (const auto& entry : log_) ids_in_log_.insert(entry.id);
   status_ = Status::kNormal;
+  end_viewchange_span();
   last_normal_view_ = view_;
   svc_votes_.clear();
   dvc_received_.clear();

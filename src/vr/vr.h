@@ -28,6 +28,8 @@
 
 #include "common/time.h"
 #include "common/types.h"
+#include "metrics/registry.h"
+#include "metrics/span.h"
 #include "object/object.h"
 #include "sim/process.h"
 
@@ -151,6 +153,10 @@ class VrReplica : public sim::Process {
   const Stats& stats() const { return stats_; }
   const object::ObjectState& applied_state() const { return *state_; }
 
+  // Observability: view-change duration span (see docs/OBSERVABILITY.md).
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+
  private:
   struct PendingClientOp {
     object::Operation op;
@@ -180,6 +186,7 @@ class VrReplica : public sim::Process {
   void reset_view_timer();
   void suspect_primary();
   void begin_view_change(std::int64_t new_view);
+  void end_viewchange_span();
   void on_start_view_change(ProcessId from, const msg::StartViewChange& m);
   void maybe_send_do_view_change();
   void on_do_view_change(ProcessId from, const msg::DoViewChange& m);
@@ -223,6 +230,10 @@ class VrReplica : public sim::Process {
   std::map<OperationId, PendingClientOp> pending_ops_;
 
   Stats stats_;
+
+  // Observability (write-only from protocol code).
+  metrics::Registry metrics_;
+  metrics::Span span_viewchange_;  // first StartViewChange -> normal status
 };
 
 }  // namespace cht::vr

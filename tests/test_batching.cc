@@ -31,14 +31,14 @@ TEST(BatchingTest, ConcurrentSubmissionsShareBatches) {
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
   const auto committed_before =
-      cluster.replica(leader).stats().batches_committed_as_leader;
+      cluster.replica(leader).metrics().value("batches_committed_as_leader");
   // 50 increments fired simultaneously from all processes.
   for (int i = 0; i < 50; ++i) {
     cluster.submit(i % cluster.n(), object::CounterObject::add(1));
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(10)));
   const auto committed_after =
-      cluster.replica(leader).stats().batches_committed_as_leader;
+      cluster.replica(leader).metrics().value("batches_committed_as_leader");
   const auto batches = committed_after - committed_before;
   EXPECT_LT(batches, 25) << "expected batching, got ~1 batch per op";
   EXPECT_GE(batches, 1);
@@ -107,9 +107,9 @@ TEST(BatchingTest, NoOpCommittedOnQuietLeadershipChange) {
   // The first leader's own NoOp commits shortly after it enters steady
   // state.
   ASSERT_TRUE(cluster.sim().run_until(
-      [&] { return cluster.replica(first).max_known_batch() >= 1; },
+      [&] { return cluster.replica(first).snapshot().max_known_batch >= 1; },
       cluster.sim().now() + Duration::seconds(5)));
-  const BatchNumber before = cluster.replica(first).max_known_batch();
+  const BatchNumber before = cluster.replica(first).snapshot().max_known_batch;
   cluster.sim().crash(ProcessId(first));
   int second = -1;
   ASSERT_TRUE(cluster.sim().run_until(
@@ -119,7 +119,7 @@ TEST(BatchingTest, NoOpCommittedOnQuietLeadershipChange) {
       },
       cluster.sim().now() + Duration::seconds(30)));
   cluster.run_for(Duration::seconds(1));
-  EXPECT_GT(cluster.replica(second).max_known_batch(), before)
+  EXPECT_GT(cluster.replica(second).snapshot().max_known_batch, before)
       << "new leader should have committed a fresh NoOp batch";
 }
 

@@ -79,8 +79,8 @@ TEST(ReplicaBasicTest, AllReplicasConvergeToSameState) {
   for (int i = 1; i < cluster.n(); ++i) {
     EXPECT_EQ(cluster.replica(i).applied_state().fingerprint(), expect)
         << "replica " << i;
-    EXPECT_EQ(cluster.replica(i).applied_upto(),
-              cluster.replica(0).applied_upto());
+    EXPECT_EQ(cluster.replica(i).snapshot().applied_upto,
+              cluster.replica(0).snapshot().applied_upto);
   }
 }
 
@@ -111,14 +111,15 @@ TEST(ReplicaBasicTest, LeaderReadsAreNonBlocking) {
   cluster.run_for(Duration::seconds(1));  // fully stabilized
   const int leader = cluster.steady_leader();
   ASSERT_GE(leader, 0);
-  const auto before = cluster.replica(leader).stats();
+  auto& metrics = cluster.replica(leader).metrics();
+  const auto blocked_before = metrics.value("reads_blocked");
+  const auto completed_before = metrics.value("reads_completed");
   for (int i = 0; i < 50; ++i) {
     cluster.submit(leader, object::RegisterObject::read());
     cluster.run_for(Duration::millis(1));
   }
-  const auto after = cluster.replica(leader).stats();
-  EXPECT_EQ(after.reads_blocked - before.reads_blocked, 0);
-  EXPECT_EQ(after.reads_completed - before.reads_completed, 50);
+  EXPECT_EQ(metrics.value("reads_blocked") - blocked_before, 0);
+  EXPECT_EQ(metrics.value("reads_completed") - completed_before, 50);
 }
 
 TEST(ReplicaBasicTest, FollowerReadsAreNonBlockingWithoutConflicts) {
@@ -130,10 +131,10 @@ TEST(ReplicaBasicTest, FollowerReadsAreNonBlockingWithoutConflicts) {
   for (int round = 0; round < 20; ++round) {
     for (int i = 0; i < cluster.n(); ++i) {
       if (i == leader) continue;
-      const auto before = cluster.replica(i).stats().reads_blocked;
+      const auto before = cluster.replica(i).metrics().value("reads_blocked");
       cluster.submit(i, object::RegisterObject::read());
-      blocked += static_cast<int>(cluster.replica(i).stats().reads_blocked -
-                                  before);
+      blocked += static_cast<int>(
+          cluster.replica(i).metrics().value("reads_blocked") - before);
     }
     cluster.run_for(Duration::millis(2));
   }

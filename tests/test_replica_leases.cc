@@ -45,9 +45,12 @@ TEST(LeaseTest, BlockedReadsBoundedBy3Delta) {
     cluster.run_for(Duration::millis(9));
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(20)));
-  const auto& stats = cluster.replica(follower).stats();
-  EXPECT_GT(stats.reads_blocked, 0) << "test needs some blocked reads";
-  EXPECT_LE(stats.max_read_block, 3 * cluster.config().delta)
+  const auto& metrics = cluster.replica(follower).metrics();
+  EXPECT_GT(metrics.value("reads_blocked"), 0)
+      << "test needs some blocked reads";
+  const auto* block = metrics.find_histogram("span.read.block_us");
+  ASSERT_NE(block, nullptr);
+  EXPECT_LE(Duration::micros(block->max()), 3 * cluster.config().delta)
       << "a read blocked for longer than 3*delta";
   const auto result =
       checker::check_linearizable(cluster.model(), cluster.history().ops());
@@ -72,17 +75,20 @@ TEST(LeaseTest, NonConflictingReadsAlmostNeverBlock) {
     cluster.submit((leader + 2) % cluster.n(),
                    object::KVObject::put("hot", std::to_string(i)));
     cluster.run_for(Duration::millis(2));
-    const auto before = cluster.replica(follower).stats().reads_blocked;
+    const auto before = cluster.replica(follower).metrics().value("reads_blocked");
     cluster.submit(follower, object::KVObject::get("cold"));
-    blocked += static_cast<int>(cluster.replica(follower).stats().reads_blocked -
-                                before);
+    blocked += static_cast<int>(
+        cluster.replica(follower).metrics().value("reads_blocked") - before);
     cluster.run_for(Duration::millis(2));
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(20)));
   EXPECT_LE(blocked, 10) << "conflict-free reads should essentially not block";
   // And any such block is the short grant-overtook-commit wait, not a full
   // conflicting-batch wait.
-  EXPECT_LE(cluster.replica(follower).stats().max_read_block,
+  EXPECT_LE(Duration::micros(cluster.replica(follower)
+                                 .metrics()
+                                 .find_histogram("span.read.block_us")
+                                 ->max()),
             3 * cluster.config().delta / 2);
 }
 
@@ -98,17 +104,20 @@ TEST(LeaseTest, SemanticConflictsCounterParity) {
   for (int i = 0; i < 50; ++i) {
     cluster.submit((leader + 2) % cluster.n(), object::CounterObject::add(2));
     cluster.run_for(Duration::millis(2));
-    const auto before = cluster.replica(follower).stats().reads_blocked;
+    const auto before = cluster.replica(follower).metrics().value("reads_blocked");
     cluster.submit(follower, object::CounterObject::parity());
-    blocked += static_cast<int>(cluster.replica(follower).stats().reads_blocked -
-                                before);
+    blocked += static_cast<int>(
+        cluster.replica(follower).metrics().value("reads_blocked") - before);
     cluster.run_for(Duration::millis(2));
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(20)));
   // Tolerate the short grant-overtook-commit waits (see the previous test);
   // semantic non-conflicts must never pay a full conflicting-batch wait.
   EXPECT_LE(blocked, 5);
-  EXPECT_LE(cluster.replica(follower).stats().max_read_block,
+  EXPECT_LE(Duration::micros(cluster.replica(follower)
+                                 .metrics()
+                                 .find_histogram("span.read.block_us")
+                                 ->max()),
             3 * cluster.config().delta / 2);
   for (const auto& record : cluster.history().ops()) {
     if (record.op.kind == "parity") EXPECT_EQ(*record.response, "even");
@@ -147,7 +156,7 @@ TEST(LeaseTest, CrashedLeaseholderDelaysWritesAtMostOnce) {
   EXPECT_LT(worst_later, cluster.core_config().lease_period / 2)
       << "later writes must not wait for the crashed leaseholder again";
   EXPECT_FALSE(
-      cluster.replica(leader).leaseholders().contains(victim));
+      cluster.replica(leader).snapshot().leaseholders.contains(victim));
 }
 
 // A process dropped from the leaseholder set (here: temporarily partitioned)
@@ -164,22 +173,25 @@ TEST(LeaseTest, DroppedLeaseholderReintegrates) {
                                                cluster.n());
   cluster.submit(submitter, object::RegisterObject::write("while-cut"));
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(20)));
-  EXPECT_FALSE(cluster.replica(leader).leaseholders().contains(victim));
+  EXPECT_FALSE(cluster.replica(leader).snapshot().leaseholders.contains(victim));
   // Heal; the victim asks back in on the next LeaseGrant it sees.
   cluster.sim().network().set_process_isolated(ProcessId(victim), false,
                                                cluster.n());
   const RealTime deadline = cluster.sim().now() + Duration::seconds(10);
   ASSERT_TRUE(cluster.sim().run_until(
-      [&] { return cluster.replica(leader).leaseholders().contains(victim); },
+      [&] {
+        return cluster.replica(leader).snapshot().leaseholders.contains(victim);
+      },
       deadline));
   // And it can serve a fresh local read.
   cluster.run_for(cluster.core_config().lease_renew_interval * 3);
-  const auto before = cluster.replica(victim).stats();
+  const auto blocked_before =
+      cluster.replica(victim).metrics().value("reads_blocked");
   cluster.submit(victim, object::RegisterObject::read());
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(5)));
   EXPECT_EQ(*cluster.history().ops().back().response, "while-cut");
-  EXPECT_EQ(cluster.replica(victim).stats().reads_blocked,
-            before.reads_blocked);
+  EXPECT_EQ(cluster.replica(victim).metrics().value("reads_blocked"),
+            blocked_before);
 }
 
 // With the leader gone, follower leases expire and reads block (no stale
@@ -197,10 +209,12 @@ TEST(LeaseTest, ReadsBlockWhileLeaderlessThenRecover) {
                   cluster.config().epsilon);
   const int reader = (leader + 1) % cluster.n();
   if (!cluster.replica(reader).is_steady_leader()) {
-    const auto blocked_before = cluster.replica(reader).stats().reads_blocked;
+    const auto blocked_before =
+        cluster.replica(reader).metrics().value("reads_blocked");
     cluster.submit(reader, object::RegisterObject::read());
     // The read must not answer from a stale lease.
-    EXPECT_GT(cluster.replica(reader).stats().reads_blocked, blocked_before);
+    EXPECT_GT(cluster.replica(reader).metrics().value("reads_blocked"),
+              blocked_before);
   } else {
     cluster.submit(reader, object::RegisterObject::read());
   }

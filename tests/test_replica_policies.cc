@@ -25,10 +25,9 @@ ClusterConfig base(std::uint64_t seed) {
 }
 
 TEST(PolicyTest, LeaderForwardReadsAreCorrectButNotLocal) {
-  harness::Cluster cluster(base(31), std::make_shared<object::RegisterObject>(),
-                        [](core::Config& c) {
-                          c.read_policy = core::ReadPolicy::kLeaderForward;
-                        });
+  harness::Cluster cluster(
+      base(31), std::make_shared<object::RegisterObject>(),
+      core::ConfigOverrides{.read_policy = core::ReadPolicy::kLeaderForward});
   ASSERT_TRUE(cluster.await_steady_leader(Duration::seconds(5)));
   cluster.run_for(Duration::seconds(1));
   cluster.submit(0, object::RegisterObject::write("v"));
@@ -53,10 +52,10 @@ TEST(PolicyTest, LeaderForwardReadsAreCorrectButNotLocal) {
 TEST(PolicyTest, AnyPendingBlocksIsConflictBlind) {
   // Under kAnyPendingBlocks, a read on a *different* key still blocks when a
   // write is in flight (PQL-style), unlike the paper's algorithm.
-  harness::Cluster cluster(base(32), std::make_shared<object::KVObject>(),
-                        [](core::Config& c) {
-                          c.read_policy = core::ReadPolicy::kAnyPendingBlocks;
-                        });
+  harness::Cluster cluster(
+      base(32), std::make_shared<object::KVObject>(),
+      core::ConfigOverrides{.read_policy =
+                                core::ReadPolicy::kAnyPendingBlocks});
   ASSERT_TRUE(cluster.await_steady_leader(Duration::seconds(5)));
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
@@ -66,10 +65,10 @@ TEST(PolicyTest, AnyPendingBlocksIsConflictBlind) {
     cluster.submit((leader + 2) % cluster.n(),
                    object::KVObject::put("hot", std::to_string(i)));
     cluster.run_for(Duration::millis(2));
-    const auto before = cluster.replica(follower).stats().reads_blocked;
+    const auto before = cluster.replica(follower).metrics().value("reads_blocked");
     cluster.submit(follower, object::KVObject::get("cold"));
-    blocked += static_cast<int>(cluster.replica(follower).stats().reads_blocked -
-                                before);
+    blocked += static_cast<int>(
+        cluster.replica(follower).metrics().value("reads_blocked") - before);
     cluster.run_for(Duration::millis(20));
   }
   EXPECT_GT(blocked, 10) << "conflict-blind reads should often block";
@@ -79,10 +78,9 @@ TEST(PolicyTest, AnyPendingBlocksIsConflictBlind) {
 TEST(PolicyTest, AllAckGatePaysForCrashedProcessEveryWrite) {
   // Megastore-style: no leaseholder-set memory. Every write after the crash
   // pays the full invalidation wait.
-  harness::Cluster cluster(base(33), std::make_shared<object::RegisterObject>(),
-                        [](core::Config& c) {
-                          c.commit_gate = core::CommitGate::kAllProcesses;
-                        });
+  harness::Cluster cluster(
+      base(33), std::make_shared<object::RegisterObject>(),
+      core::ConfigOverrides{.commit_gate = core::CommitGate::kAllProcesses});
   ASSERT_TRUE(cluster.await_steady_leader(Duration::seconds(5)));
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
@@ -104,9 +102,9 @@ TEST(PolicyTest, AllAckGatePaysForCrashedProcessEveryWrite) {
 TEST(PolicyTest, CommitWaitAddsEpsilonToEveryWrite) {
   const Duration wait = Duration::millis(25);
   harness::Cluster cluster(base(34), std::make_shared<object::RegisterObject>(),
-                        [&](core::Config& c) { c.commit_wait = wait; });
-  harness::Cluster baseline(base(34), std::make_shared<object::RegisterObject>(),
-                         [](core::Config&) {});
+                           core::ConfigOverrides{.commit_wait = wait});
+  harness::Cluster baseline(base(34),
+                            std::make_shared<object::RegisterObject>());
   for (auto* c : {&cluster, &baseline}) {
     ASSERT_TRUE(c->await_steady_leader(Duration::seconds(5)));
     c->run_for(Duration::seconds(1));
@@ -127,10 +125,9 @@ TEST(PolicyTest, CommitWaitAddsEpsilonToEveryWrite) {
 TEST(PolicyTest, SafeTimeReadsBlockEvenWithoutWrites) {
   // Spanner option (b): a read waits for the next safe-time beacon past its
   // timestamp — so follower reads always block, even on an idle object.
-  harness::Cluster cluster(base(36), std::make_shared<object::RegisterObject>(),
-                        [](core::Config& c) {
-                          c.read_policy = core::ReadPolicy::kSafeTime;
-                        });
+  harness::Cluster cluster(
+      base(36), std::make_shared<object::RegisterObject>(),
+      core::ConfigOverrides{.read_policy = core::ReadPolicy::kSafeTime});
   ASSERT_TRUE(cluster.await_steady_leader(Duration::seconds(5)));
   cluster.run_for(Duration::seconds(1));
   const int leader = cluster.steady_leader();
@@ -140,10 +137,10 @@ TEST(PolicyTest, SafeTimeReadsBlockEvenWithoutWrites) {
   cluster.run_for(Duration::seconds(1));  // idle: no writes in flight
   int blocked = 0;
   for (int i = 0; i < 20; ++i) {
-    const auto before = cluster.replica(follower).stats().reads_blocked;
+    const auto before = cluster.replica(follower).metrics().value("reads_blocked");
     cluster.submit(follower, object::RegisterObject::read());
     blocked += static_cast<int>(
-        cluster.replica(follower).stats().reads_blocked - before);
+        cluster.replica(follower).metrics().value("reads_blocked") - before);
     cluster.run_for(Duration::millis(40));  // > renewal interval
   }
   EXPECT_EQ(blocked, 20) << "every safe-time follower read should block";
@@ -160,10 +157,9 @@ TEST(PolicyTest, UnsafeLocalReadsViolateLinearizability) {
   // catches. Scan seeds until the race materializes (deterministically).
   bool violation_found = false;
   for (std::uint64_t seed = 1; seed <= 20 && !violation_found; ++seed) {
-    harness::Cluster cluster(base(seed), std::make_shared<object::RegisterObject>(),
-                          [](core::Config& c) {
-                            c.read_policy = core::ReadPolicy::kUnsafeLocal;
-                          });
+    harness::Cluster cluster(
+        base(seed), std::make_shared<object::RegisterObject>(),
+        core::ConfigOverrides{.read_policy = core::ReadPolicy::kUnsafeLocal});
     if (!cluster.await_steady_leader(Duration::seconds(5))) continue;
     cluster.run_for(Duration::seconds(1));
     const int leader = cluster.steady_leader();

@@ -56,7 +56,7 @@ TEST(StabilizationTest, ReadsBecomeNonBlockingAfterGst) {
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(30)));
   std::vector<std::int64_t> blocked_before(cluster.n());
   for (int i = 0; i < cluster.n(); ++i) {
-    blocked_before[i] = cluster.replica(i).stats().reads_blocked;
+    blocked_before[i] = cluster.replica(i).metrics().value("reads_blocked");
   }
   for (int round = 0; round < 10; ++round) {
     for (int i = 0; i < cluster.n(); ++i) {
@@ -66,7 +66,8 @@ TEST(StabilizationTest, ReadsBecomeNonBlockingAfterGst) {
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(5)));
   for (int i = 0; i < cluster.n(); ++i) {
-    EXPECT_EQ(cluster.replica(i).stats().reads_blocked, blocked_before[i])
+    EXPECT_EQ(cluster.replica(i).metrics().value("reads_blocked"),
+              blocked_before[i])
         << "post-GST read blocked at replica " << i;
   }
 }

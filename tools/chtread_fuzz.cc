@@ -15,8 +15,13 @@
 //                [--n=5] [--ops=80] [--read-fraction=0.5] [--key-skew=0.5]
 //                [--delta-ms=10] [--epsilon-ms=1] [--gst-ms=1000]
 //                [--loss=0.1] [--max-inflight=6] [--check-budget=500000]
-//                [--artifact-dir=.] [--verbose]
+//                [--artifact-dir=.] [--metrics-out=PATH.json] [--verbose]
 //   chtread_fuzz --repro=<artifact-file>
+//
+// --metrics-out writes the sweep summary plus, per protocol, a full
+// observability capture (merged per-replica metric registries, span
+// histograms, message counts) from one representative re-run of the first
+// (profile, object) combination — schema cht.bench.v1, same as the benches.
 //
 // Exit status: 0 if every run passed (or a --repro replay reproduced its
 // recorded fingerprint), 1 otherwise.
@@ -29,6 +34,7 @@
 #include "chaos/nemesis.h"
 #include "chaos/spec.h"
 #include "chaos/sweep.h"
+#include "common/experiment.h"
 #include "metrics/table.h"
 
 namespace {
@@ -45,6 +51,7 @@ struct Options {
   int threads = 0;
   std::string artifact_dir = ".";
   std::string repro;
+  std::string metrics_out;  // bench-artifact JSON path; empty = off
   bool verbose = false;
 };
 
@@ -97,6 +104,8 @@ Options parse(int argc, char** argv) {
       options.artifact_dir = value;
     } else if (parse_flag(arg, "repro", value)) {
       options.repro = value;
+    } else if (parse_flag(arg, "metrics-out", value)) {
+      options.metrics_out = value;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -161,6 +170,62 @@ std::vector<std::string> expand(const std::string& value,
   return {value};
 }
 
+// Captures observability out of a run_one() adapter at teardown: run_one
+// owns and destroys the adapter, so the destructor is the last point where
+// the replicas (and their metric registries) still exist. Pure observer —
+// every protocol-visible call forwards unchanged, so the decorated run's
+// fingerprint is identical to an undecorated one.
+class CapturingAdapter final : public chaos::ClusterAdapter {
+ public:
+  struct Capture {
+    metrics::Registry merged;
+    sim::MessageStats messages;
+    metrics::LatencyRecorder reads;
+    metrics::LatencyRecorder rmws;
+  };
+
+  CapturingAdapter(std::unique_ptr<chaos::ClusterAdapter> inner, Capture& out)
+      : inner_(std::move(inner)), out_(out) {}
+  ~CapturingAdapter() override {
+    inner_->merge_metrics_into(out_.merged);
+    out_.messages = inner_->sim().network().stats();
+    for (const auto& op : inner_->history().ops()) {
+      if (!op.completed()) continue;
+      (inner_->model().is_read(op.op) ? out_.reads : out_.rmws)
+          .record(op.latency());
+    }
+  }
+
+  const std::string& protocol() const override { return inner_->protocol(); }
+  sim::Simulation& sim() override { return inner_->sim(); }
+  int n() const override { return inner_->n(); }
+  const object::ObjectModel& model() const override { return inner_->model(); }
+  checker::HistoryRecorder& history() override { return inner_->history(); }
+  void submit(int process, object::Operation op) override {
+    inner_->submit(process, std::move(op));
+  }
+  bool crashed(int process) const override { return inner_->crashed(process); }
+  int leader() override { return inner_->leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return inner_->await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return inner_->submitted(); }
+  std::size_t completed() const override { return inner_->completed(); }
+  std::vector<std::string> protocol_invariants() override {
+    return inner_->protocol_invariants();
+  }
+  std::int64_t leadership_changes() override {
+    return inner_->leadership_changes();
+  }
+  void merge_metrics_into(metrics::Registry& out) override {
+    inner_->merge_metrics_into(out);
+  }
+
+ private:
+  std::unique_ptr<chaos::ClusterAdapter> inner_;
+  Capture& out_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,9 +236,15 @@ int main(int argc, char** argv) {
   const auto profiles = expand(options.profile, chaos::known_profiles());
   const auto objects = expand(options.object, chaos::known_objects());
 
-  metrics::Table table(
-      {"protocol", "profile", "object", "seeds", "failed", "undecided",
-       "leader changes", "crashes"});
+  cht::bench::ExperimentResult result("fuzz", options.metrics_out,
+                                      /*smoke=*/false);
+  result.begin("chtread_fuzz seed sweep",
+               "seeds=" + std::to_string(options.seeds) +
+                   " start=" + std::to_string(options.seed_start) +
+                   " n=" + std::to_string(options.base.n) +
+                   " ops=" + std::to_string(options.base.ops));
+  result.columns({"protocol", "profile", "object", "seeds", "failed",
+                  "undecided", "leader changes", "crashes"});
   int total_failures = 0;
   int total_undecided = 0;
   std::vector<std::string> artifacts;
@@ -204,12 +275,12 @@ int main(int argc, char** argv) {
           leaders += r.leadership_changes;
           crashes += r.crashes;
         }
-        table.add_row({protocol, profile, object,
-                       metrics::Table::num(std::int64_t{options.seeds}),
-                       metrics::Table::num(std::int64_t{sweep.failures()}),
-                       metrics::Table::num(std::int64_t{sweep.undecided()}),
-                       metrics::Table::num(leaders),
-                       metrics::Table::num(std::int64_t{crashes})});
+        result.row({protocol, profile, object,
+                    metrics::Table::num(std::int64_t{options.seeds}),
+                    metrics::Table::num(std::int64_t{sweep.failures()}),
+                    metrics::Table::num(std::int64_t{sweep.undecided()}),
+                    metrics::Table::num(leaders),
+                    metrics::Table::num(std::int64_t{crashes})});
         total_failures += sweep.failures();
         total_undecided += sweep.undecided();
         for (const auto& path : sweep.artifacts) artifacts.push_back(path);
@@ -220,7 +291,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.print(std::cout);
+  result.end();
   for (const auto& path : artifacts) {
     std::cout << "repro artifact: " << path << "\n";
   }
@@ -233,5 +304,29 @@ int main(int argc, char** argv) {
                                     : std::to_string(total_failures) +
                                           " runs FAILED")
             << "\n";
-  return total_failures == 0 ? 0 : 1;
+
+  int exit_code = total_failures == 0 ? 0 : 1;
+  if (!options.metrics_out.empty()) {
+    result.metric("total_failures", std::int64_t{total_failures});
+    result.metric("total_undecided", std::int64_t{total_undecided});
+    // One representative re-run per protocol (first profile/object combo)
+    // to capture merged registries, span histograms and message counts.
+    for (const auto& protocol : protocols) {
+      chaos::RunSpec spec = options.base;
+      spec.protocol = protocol;
+      spec.profile = profiles.front();
+      spec.object = objects.front();
+      spec.seed = options.seed_start;
+      CapturingAdapter::Capture capture;
+      chaos::run_one(spec, [&](std::unique_ptr<chaos::ClusterAdapter> inner) {
+        return std::make_unique<CapturingAdapter>(std::move(inner), capture);
+      });
+      result.observe_registry(protocol, capture.merged, capture.messages);
+      result.latency(protocol + "-reads", capture.reads);
+      result.latency(protocol + "-rmws", capture.rmws);
+    }
+    const int finish_code = result.finish();
+    if (exit_code == 0) exit_code = finish_code;
+  }
+  return exit_code;
 }

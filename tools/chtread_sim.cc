@@ -2,6 +2,9 @@
 //
 // Runs a configurable simulated cluster and prints a summary: latencies,
 // message traffic, blocking statistics, and a linearizability verdict.
+// With --metrics-out=PATH it also writes the versioned bench-artifact JSON
+// (schema cht.bench.v1: merged per-replica metric registries, protocol-phase
+// span histograms, message counts by type, latency percentiles).
 //
 // Usage:
 //   chtread_sim [--n=5] [--delta-ms=10] [--epsilon-ms=1] [--seed=1]
@@ -11,12 +14,14 @@
 //               [--workload=read-heavy|write-heavy|mixed]
 //               [--ops=500] [--gst-ms=0] [--loss=0.05]
 //               [--crash-leader-at-ms=N] [--check=on|off] [--trace=N]
+//               [--metrics-out=PATH.json]
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "checker/linearizability.h"
+#include "common/experiment.h"
 #include "common/rng.h"
 #include "harness/cluster.h"
 #include "harness/raft_cluster.h"
@@ -43,6 +48,7 @@ struct Options {
   std::int64_t crash_leader_at_ms = -1;
   bool check = true;
   int trace = 0;  // dump last N protocol trace events (0 = off)
+  std::string metrics_out;  // artifact path; empty = no artifact
 };
 
 bool parse_flag(const std::string& arg, const std::string& name,
@@ -84,6 +90,8 @@ Options parse(int argc, char** argv) {
       options.check = value != "off";
     } else if (parse_flag(arg, "trace", value)) {
       options.trace = std::stoi(value);
+    } else if (parse_flag(arg, "metrics-out", value)) {
+      options.metrics_out = value;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the usage comment at the top of tools/chtread_sim.cc\n";
       std::exit(0);
@@ -166,41 +174,69 @@ int drive(ClusterT& cluster, const Options& options,
     }
     (op.op.kind == "get" ? read_lat : write_lat).record(op.latency());
   }
-  metrics::Table table({"metric", "value"});
-  table.add_row({"simulated time (s)",
-                 metrics::Table::num(cluster.sim().now().to_seconds_f(), 2)});
-  table.add_row({"operations completed",
-                 metrics::Table::num(static_cast<std::int64_t>(
-                     cluster.completed()))});
-  table.add_row({"operations pending",
-                 metrics::Table::num(static_cast<std::int64_t>(pending))});
+  cht::bench::ExperimentResult result("sim", options.metrics_out,
+                                      /*smoke=*/false);
+  result.begin("chtread_sim: protocol=" + options.protocol +
+                   " workload=" + options.workload,
+               "seed=" + std::to_string(options.seed) +
+                   " n=" + std::to_string(options.n) +
+                   " delta=" + std::to_string(options.delta_ms) + "ms");
+  result.columns({"metric", "value"});
+  result.row({"simulated time (s)",
+              metrics::Table::num(cluster.sim().now().to_seconds_f(), 2)});
+  result.row({"operations completed",
+              metrics::Table::num(static_cast<std::int64_t>(
+                  cluster.completed()))});
+  result.row({"operations pending",
+              metrics::Table::num(static_cast<std::int64_t>(pending))});
   if (!read_lat.empty()) {
-    table.add_row({"read p50/p99 (ms)",
-                   metrics::Table::num(read_lat.p50().to_millis_f(), 2) + " / " +
-                       metrics::Table::num(read_lat.p99().to_millis_f(), 2)});
+    result.row({"read p50/p99 (ms)",
+                metrics::Table::num(read_lat.p50().to_millis_f(), 2) + " / " +
+                    metrics::Table::num(read_lat.p99().to_millis_f(), 2)});
   }
   if (!write_lat.empty()) {
-    table.add_row({"write p50/p99 (ms)",
-                   metrics::Table::num(write_lat.p50().to_millis_f(), 2) + " / " +
-                       metrics::Table::num(write_lat.p99().to_millis_f(), 2)});
+    result.row({"write p50/p99 (ms)",
+                metrics::Table::num(write_lat.p50().to_millis_f(), 2) + " / " +
+                    metrics::Table::num(write_lat.p99().to_millis_f(), 2)});
   }
-  table.add_row({"messages sent",
-                 metrics::Table::num(cluster.sim().network().stats().sent)});
-  table.print(std::cout);
+  result.row({"messages sent",
+              metrics::Table::num(cluster.sim().network().stats().sent)});
+  result.end();
+
+  result.metric("ops_completed",
+                static_cast<std::int64_t>(cluster.completed()));
+  result.metric("ops_pending", static_cast<std::int64_t>(pending));
+  result.metric("simulated_time_us", (cluster.sim().now() - RealTime::zero())
+                                         .to_micros());
+  result.latency("reads", read_lat);
+  result.latency("rmws", write_lat);
+  if constexpr (requires { cluster.overrides(); }) {
+    result.config(options.protocol, cluster.config(), cluster.overrides());
+  } else {
+    result.config(options.protocol, cluster.config());
+  }
+  result.observe(options.protocol, cluster);
 
   if (!quiesced) {
     std::cout << "note: some operations never completed (expected when the\n"
               << "submitting process crashed or no majority is connected)\n";
   }
+  int exit_code = 0;
   if (options.check) {
-    const auto result =
+    const auto check =
         checker::check_linearizable(cluster.model(), cluster.history().ops());
-    std::cout << "linearizable: " << (result.linearizable ? "YES" : "NO");
-    if (!result.linearizable) std::cout << "  (" << result.explanation << ")";
+    std::cout << "linearizable: " << (check.linearizable ? "YES" : "NO");
+    if (!check.linearizable) std::cout << "  (" << check.explanation << ")";
     std::cout << "\n";
-    return result.linearizable ? 0 : 1;
+    result.metric("linearizable",
+                  static_cast<std::int64_t>(check.linearizable ? 1 : 0));
+    exit_code = check.linearizable ? 0 : 1;
   }
-  return 0;
+  if (!options.metrics_out.empty()) {
+    const int finish_code = result.finish();
+    if (exit_code == 0) exit_code = finish_code;
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -211,17 +247,16 @@ int main(int argc, char** argv) {
   std::cout << "chtread_sim: protocol=" << options.protocol
             << " reads=" << options.reads << " n=" << options.n
             << " delta=" << options.delta_ms << "ms seed=" << options.seed
-            << "\n\n";
+            << "\n";
 
   if (options.protocol == "core") {
-    core::ReadPolicy policy = core::ReadPolicy::kLocalLease;
+    core::ConfigOverrides overrides;
     if (options.reads == "core-forward") {
-      policy = core::ReadPolicy::kLeaderForward;
+      overrides.read_policy = core::ReadPolicy::kLeaderForward;
     } else if (options.reads == "core-anypending") {
-      policy = core::ReadPolicy::kAnyPendingBlocks;
+      overrides.read_policy = core::ReadPolicy::kAnyPendingBlocks;
     }
-    harness::Cluster cluster(cluster_config(options), model,
-                             [&](core::Config& c) { c.read_policy = policy; });
+    harness::Cluster cluster(cluster_config(options), model, overrides);
     cluster.await_steady_leader(Duration::seconds(30));
     return drive(cluster, options, [&] { return cluster.steady_leader(); });
   }
