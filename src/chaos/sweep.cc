@@ -253,8 +253,15 @@ SweepResult sweep_seeds(const RunSpec& base, std::uint64_t first_seed,
   }
   threads = std::min(threads, count);
 
+  // Everything a sweep returns must be independent of the worker count:
+  // each seed index maps to a fixed seed regardless of which worker claims
+  // it, results land in per-index slots, and artifact paths are collected
+  // into per-index slots too (the old push_back-under-lock collected them in
+  // completion order, which varied with --threads). Only the on_result
+  // progress callback observes completion order, and is documented as such.
   std::atomic<int> next{0};
-  std::mutex mu;  // serializes artifact writes and progress callbacks
+  std::mutex mu;  // serializes progress callbacks
+  std::vector<std::string> artifact_slots(static_cast<std::size_t>(count));
   auto worker = [&] {
     for (;;) {
       const int i = next.fetch_add(1);
@@ -267,9 +274,10 @@ SweepResult sweep_seeds(const RunSpec& base, std::uint64_t first_seed,
         path << options.artifact_dir << "/repro_" << spec.protocol << "_"
              << spec.profile << "_" << spec.object << "_seed" << spec.seed
              << ".txt";
-        std::lock_guard<std::mutex> lock(mu);
+        // No lock: artifact files have distinct per-seed names and the slot
+        // is owned by exactly one worker.
         if (write_artifact(path.str(), result)) {
-          sweep.artifacts.push_back(path.str());
+          artifact_slots[static_cast<std::size_t>(i)] = path.str();
         }
       }
       {
@@ -286,6 +294,9 @@ SweepResult sweep_seeds(const RunSpec& base, std::uint64_t first_seed,
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
+  }
+  for (auto& path : artifact_slots) {
+    if (!path.empty()) sweep.artifacts.push_back(std::move(path));
   }
   return sweep;
 }

@@ -12,6 +12,12 @@
 // the sweep parallelizes perfectly; failures dump self-contained repro
 // artifacts (spec + nemesis schedule + trace tail + history) that
 // load_artifact() turns back into an exact replay.
+//
+// Worker-count independence (tested by test_sweep_determinism): seed index i
+// always runs seed first_seed+i no matter which worker claims it, and both
+// `results` and `artifacts` come back in seed order — `--threads N` can
+// never change which seeds fail, their fingerprints, or the artifact list.
+// Only the on_result progress callback fires in completion order.
 #pragma once
 
 #include <cstdint>
@@ -73,13 +79,15 @@ struct SweepOptions {
   int threads = 0;                 // 0 = hardware concurrency
   std::string artifact_dir;        // empty = do not write artifacts
   AdapterHook hook;                // test interposition (see evil.h)
-  // Called under a lock as each seed finishes (progress reporting).
+  // Called under a lock as each seed finishes (progress reporting). Fires
+  // in completion order — the one place a sweep is allowed to depend on
+  // thread scheduling; never derive results from callback order.
   std::function<void(const RunResult&)> on_result;
 };
 
 struct SweepResult {
   std::vector<RunResult> results;  // ordered by seed
-  std::vector<std::string> artifacts;
+  std::vector<std::string> artifacts;  // ordered by seed (worker-count-free)
 
   int failures() const {
     int n = 0;

@@ -151,7 +151,10 @@ class Search {
   std::size_t completed_total_ = 0;
   std::size_t last_linearized_ = 0;
   std::vector<std::size_t> order_;
-  std::unordered_set<std::string> memo_;
+  // Hash set is safe here: the search only does insert()/size() — the
+  // verdict and the budget cut depend on how many distinct states were
+  // memoized, never on the order they would enumerate in.
+  std::unordered_set<std::string> memo_;  // detlint: order-independent (insert/size only; never iterated)
   std::size_t max_states_ = 0;
   bool budget_exhausted_ = false;
   std::size_t best_progress_ = 0;

@@ -92,22 +92,22 @@ struct EstReply {
 struct Prepare {
   Batch ops;              // the batch O being proposed
   LocalTime leader_time;  // t: when the proposing leader became leader
-  BatchNumber number;     // j
+  BatchNumber number = 0;     // j
   Batch prev_batch;       // Batch[j-1] (committed), empty for j == 1
 };
 
 struct PrepareAck {
   LocalTime leader_time;
-  BatchNumber number;
+  BatchNumber number = 0;
 };
 
 struct Commit {
   Batch ops;
-  BatchNumber number;
+  BatchNumber number = 0;
 };
 
 struct LeaseGrant {
-  BatchNumber batch;            // latest committed batch number
+  BatchNumber batch = 0;            // latest committed batch number
   LocalTime issued;             // leader's local time of issue
   std::set<int> leaseholders;   // current leaseholder set (process indices)
 };
@@ -115,11 +115,11 @@ struct LeaseGrant {
 struct LeaseRequest {};
 
 struct BatchRequest {
-  BatchNumber number;
+  BatchNumber number = 0;
 };
 
 struct BatchReply {
-  BatchNumber number;
+  BatchNumber number = 0;
   Batch ops;
 };
 

@@ -33,7 +33,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
@@ -240,7 +239,10 @@ class Replica : public sim::Process {
   BatchNumber applied_upto_ = 0;
   BatchNumber max_known_batch_ = 0;
   std::unique_ptr<object::ObjectState> state_;
-  std::unordered_map<OperationId, BatchNumber> committed_op_batch_;
+  // Ordered (not hashed): protocol state must never expose hash-order
+  // nondeterminism, and an ordered map keeps any future iteration
+  // deterministic by construction (detlint rule D3).
+  std::map<OperationId, BatchNumber> committed_op_batch_;
   std::optional<Lease> lease_;
 
   // --- Client-side state (thread 1) ---

@@ -30,7 +30,6 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
@@ -79,23 +78,23 @@ inline constexpr const char* kClientRead = "raft.clientread";
 inline constexpr const char* kReadReply = "raft.readreply";
 
 struct RequestVote {
-  std::int64_t term;
-  std::int64_t last_log_index;
-  std::int64_t last_log_term;
+  std::int64_t term = 0;
+  std::int64_t last_log_index = 0;
+  std::int64_t last_log_term = 0;
 };
 
 struct VoteReply {
-  std::int64_t term;
-  bool granted;
+  std::int64_t term = 0;
+  bool granted = false;
 };
 
 struct AppendEntries {
-  std::int64_t term;
-  std::int64_t prev_index;
-  std::int64_t prev_term;
+  std::int64_t term = 0;
+  std::int64_t prev_index = 0;
+  std::int64_t prev_term = 0;
   std::vector<LogEntry> entries;
-  std::int64_t leader_commit;
-  std::int64_t probe_seq;  // ReadIndex confirmation round
+  std::int64_t leader_commit = 0;
+  std::int64_t probe_seq = 0;  // ReadIndex confirmation round
   // Leader-local send time, echoed back in AppendReply. The read lease must
   // anchor at the time a heartbeat round was *sent*: the ack's receive time
   // overestimates how recently the follower reset its election timer by the
@@ -104,10 +103,10 @@ struct AppendEntries {
 };
 
 struct AppendReply {
-  std::int64_t term;
-  bool success;
-  std::int64_t match_index;  // on success; on failure, follower's log length
-  std::int64_t probe_seq;
+  std::int64_t term = 0;
+  bool success = false;
+  std::int64_t match_index = 0;  // on success; on failure, follower's log length
+  std::int64_t probe_seq = 0;
   LocalTime lease_stamp;  // echoed from the AppendEntries being answered
 };
 
@@ -181,8 +180,8 @@ class RaftReplica : public sim::Process {
     ProcessId from;
     OperationId id;
     object::Operation op;
-    std::int64_t read_index;
-    std::int64_t probe_seq;
+    std::int64_t read_index = 0;
+    std::int64_t probe_seq = 0;
     LocalTime enqueued;  // leader-local arrival, for the round span
   };
 
@@ -226,7 +225,8 @@ class RaftReplica : public sim::Process {
   std::int64_t term_ = 0;
   std::optional<int> voted_for_;
   std::vector<LogEntry> log_;  // log_[i] holds index i+1
-  std::unordered_set<OperationId> ids_in_log_;
+  // Ordered (not hashed): deterministic by construction (detlint rule D3).
+  std::set<OperationId> ids_in_log_;
 
   // Volatile state.
   Role role_ = Role::kFollower;

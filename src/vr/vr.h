@@ -23,7 +23,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
@@ -73,51 +72,51 @@ struct Request {
 };
 
 struct Prepare {
-  std::int64_t view;
-  std::int64_t op_number;        // number of the LAST entry in `entries`
+  std::int64_t view = 0;
+  std::int64_t op_number = 0;        // number of the LAST entry in `entries`
   std::vector<VrLogEntry> entries;  // suffix starting after follower's ack
-  std::int64_t commit_number;
+  std::int64_t commit_number = 0;
 };
 
 struct PrepareOk {
-  std::int64_t view;
-  std::int64_t op_number;
+  std::int64_t view = 0;
+  std::int64_t op_number = 0;
 };
 
 struct Commit {
-  std::int64_t view;
-  std::int64_t commit_number;
+  std::int64_t view = 0;
+  std::int64_t commit_number = 0;
 };
 
 struct StartViewChange {
-  std::int64_t view;
+  std::int64_t view = 0;
 };
 
 struct DoViewChange {
-  std::int64_t view;
+  std::int64_t view = 0;
   std::vector<VrLogEntry> log;
-  std::int64_t last_normal_view;
-  std::int64_t op_number;
-  std::int64_t commit_number;
+  std::int64_t last_normal_view = 0;
+  std::int64_t op_number = 0;
+  std::int64_t commit_number = 0;
 };
 
 struct StartView {
-  std::int64_t view;
+  std::int64_t view = 0;
   std::vector<VrLogEntry> log;
-  std::int64_t op_number;
-  std::int64_t commit_number;
+  std::int64_t op_number = 0;
+  std::int64_t commit_number = 0;
 };
 
 struct GetState {
-  std::int64_t view;
-  std::int64_t op_number;  // requester's last op
+  std::int64_t view = 0;
+  std::int64_t op_number = 0;  // requester's last op
 };
 
 struct NewState {
-  std::int64_t view;
+  std::int64_t view = 0;
   std::vector<VrLogEntry> suffix;  // entries after the requested op_number
-  std::int64_t op_number;
-  std::int64_t commit_number;
+  std::int64_t op_number = 0;
+  std::int64_t commit_number = 0;
 };
 
 }  // namespace msg
@@ -210,7 +209,8 @@ class VrReplica : public sim::Process {
   Status status_ = Status::kNormal;
   std::int64_t last_normal_view_ = 0;
   std::vector<VrLogEntry> log_;
-  std::unordered_set<OperationId> ids_in_log_;
+  // Ordered (not hashed): deterministic by construction (detlint rule D3).
+  std::set<OperationId> ids_in_log_;
   std::int64_t commit_number_ = 0;
   std::int64_t applied_ = 0;
   std::unique_ptr<object::ObjectState> state_;

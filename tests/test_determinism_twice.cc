@@ -1,0 +1,143 @@
+// The runtime witness for what detlint enforces statically: the same chaos
+// spec run twice in one process yields byte-identical results on every
+// protocol stack — same fingerprint, same history, same nemesis schedule,
+// same trace, byte-identical repro-artifact files, byte-identical metrics
+// JSON. Any wall-clock read, unseeded randomness, hash-order-dependent
+// decision, uninitialized message field, or cross-run shared state would
+// show up here as a diff between the two runs.
+//
+// Compile-time half of the audit: including core/wire_audit.h applies the
+// static_assert battery over every wire-format struct (trivially copyable
+// fixed-size payloads, value-semantics variable-size payloads).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "chaos/adapter.h"
+#include "chaos/spec.h"
+#include "chaos/sweep.h"
+#include "core/wire_audit.h"
+#include "metrics/json.h"
+#include "metrics/registry.h"
+
+namespace cht {
+namespace {
+
+// Pure observer: captures the merged per-replica metric registries at
+// adapter teardown (the last point the replicas exist inside run_one).
+// Every protocol-visible call forwards unchanged, so a captured run's
+// fingerprint is identical to an undecorated one.
+class MetricsProbe final : public chaos::ClusterAdapter {
+ public:
+  MetricsProbe(std::unique_ptr<chaos::ClusterAdapter> inner,
+               metrics::Registry& out)
+      : inner_(std::move(inner)), out_(out) {}
+  ~MetricsProbe() override { inner_->merge_metrics_into(out_); }
+
+  const std::string& protocol() const override { return inner_->protocol(); }
+  sim::Simulation& sim() override { return inner_->sim(); }
+  int n() const override { return inner_->n(); }
+  const object::ObjectModel& model() const override { return inner_->model(); }
+  checker::HistoryRecorder& history() override { return inner_->history(); }
+  void submit(int process, object::Operation op) override {
+    inner_->submit(process, std::move(op));
+  }
+  bool crashed(int process) const override { return inner_->crashed(process); }
+  int leader() override { return inner_->leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return inner_->await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return inner_->submitted(); }
+  std::size_t completed() const override { return inner_->completed(); }
+  std::vector<std::string> protocol_invariants() override {
+    return inner_->protocol_invariants();
+  }
+  std::int64_t leadership_changes() override {
+    return inner_->leadership_changes();
+  }
+  void merge_metrics_into(metrics::Registry& out) override {
+    inner_->merge_metrics_into(out);
+  }
+
+ private:
+  std::unique_ptr<chaos::ClusterAdapter> inner_;
+  metrics::Registry& out_;
+};
+
+struct CapturedRun {
+  chaos::RunResult result;
+  std::string metrics_json;
+  std::string artifact_bytes;
+};
+
+CapturedRun run_captured(const chaos::RunSpec& spec) {
+  CapturedRun captured;
+  metrics::Registry merged;
+  captured.result = chaos::run_one(
+      spec, [&merged](std::unique_ptr<chaos::ClusterAdapter> inner) {
+        return std::make_unique<MetricsProbe>(std::move(inner), merged);
+      });
+  captured.metrics_json = metrics::registry_to_json(merged).dump();
+
+  // Both runs write to the SAME path: the artifact embeds its own path in
+  // the "# replay:" header, so distinct filenames would differ trivially.
+  const std::string path =
+      ::testing::TempDir() + "det_twice_" + spec.protocol + ".txt";
+  EXPECT_TRUE(chaos::write_artifact(path, captured.result));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  captured.artifact_bytes = bytes.str();
+  std::remove(path.c_str());
+  return captured;
+}
+
+class DeterminismTwiceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTwiceTest, SecondRunIsByteIdentical) {
+  chaos::RunSpec spec;
+  spec.protocol = GetParam();
+  spec.profile = "rolling-partitions";
+  spec.object = "kv";
+  spec.seed = 42;
+  spec.ops = 40;
+
+  const CapturedRun first = run_captured(spec);
+  const CapturedRun second = run_captured(spec);
+
+  EXPECT_EQ(first.result.fingerprint, second.result.fingerprint);
+  EXPECT_EQ(first.result.violations, second.result.violations);
+  EXPECT_EQ(first.result.quiesced, second.result.quiesced);
+  EXPECT_EQ(first.result.checker_decided, second.result.checker_decided);
+  EXPECT_EQ(first.result.submitted, second.result.submitted);
+  EXPECT_EQ(first.result.completed, second.result.completed);
+  EXPECT_EQ(first.result.leadership_changes, second.result.leadership_changes);
+  EXPECT_EQ(first.result.crashes, second.result.crashes);
+  EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
+  EXPECT_EQ(first.result.trace_tail, second.result.trace_tail);
+  EXPECT_EQ(first.result.history, second.result.history);
+  EXPECT_EQ(first.artifact_bytes, second.artifact_bytes)
+      << "repro artifact not byte-identical across same-spec runs";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "merged metrics registry not byte-identical across same-spec runs";
+  // Sanity: the runs did something worth comparing.
+  EXPECT_GT(first.result.completed, 0u);
+  EXPECT_FALSE(first.artifact_bytes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, DeterminismTwiceTest,
+                         ::testing::ValuesIn(chaos::known_protocols()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cht

@@ -60,7 +60,9 @@ TEST(ReplicaBasicTest, ReadSeesCommittedWrite) {
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(5)));
   for (const auto& op : cluster.history().ops()) {
-    if (cluster.model().is_read(op.op)) EXPECT_EQ(*op.response, "v1");
+    if (cluster.model().is_read(op.op)) {
+      EXPECT_EQ(*op.response, "v1");
+    }
   }
 }
 

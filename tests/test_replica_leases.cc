@@ -120,7 +120,9 @@ TEST(LeaseTest, SemanticConflictsCounterParity) {
                                  ->max()),
             3 * cluster.config().delta / 2);
   for (const auto& record : cluster.history().ops()) {
-    if (record.op.kind == "parity") EXPECT_EQ(*record.response, "even");
+    if (record.op.kind == "parity") {
+      EXPECT_EQ(*record.response, "even");
+    }
   }
 }
 

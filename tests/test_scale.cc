@@ -42,7 +42,9 @@ TEST_P(ScaleTest, ElectsOneLeaderCommitsAndReads) {
   }
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(10)));
   for (const auto& op : cluster.history().ops()) {
-    if (cluster.model().is_read(op.op)) EXPECT_EQ(*op.response, "v");
+    if (cluster.model().is_read(op.op)) {
+      EXPECT_EQ(*op.response, "v");
+    }
   }
 }
 

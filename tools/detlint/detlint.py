@@ -1,0 +1,638 @@
+#!/usr/bin/env python3
+"""detlint — determinism & protocol-hygiene static analysis for this repo.
+
+Everything the repo claims (bit-identical `chtread_fuzz --repro`, the
+metrics-determinism golden test, the delta/epsilon/GST-parameterized
+guarantees) rests on the simulator being deterministic. detlint statically
+rejects the ways a contributor could break that:
+
+  D1  wall-clock      No OS/ambient time sources (std::chrono::*_clock,
+                      time(), gettimeofday, clock_gettime, ...) outside the
+                      allowlisted src/common/time.h. Simulated time comes
+                      from sim::Clock only.
+  D2  randomness      No ambient randomness (rand, srand, std::random_device,
+                      std::mt19937, default_random_engine, /dev/urandom)
+                      outside src/common/rng.h. All randomness flows through
+                      explicitly seeded cht::Rng streams.
+  D3  hash-order      No unordered_map/unordered_set declarations or
+                      iteration in protocol directories (src/core, src/raft,
+                      src/vr, src/leader, src/baselines, src/sim,
+                      src/checker, src/chaos) unless the site carries a
+                      `// detlint: order-independent (<reason>)`
+                      justification. Hash iteration order is
+                      implementation-defined; protocol decisions derived
+                      from it are invisible nondeterminism.
+  D4  pointer-order   No ordered containers keyed on raw pointers
+                      (std::map<T*, ...>, std::set<T*>, pointer-keyed
+                      priority_queue). Pointer order is allocation order —
+                      nondeterministic across runs.
+  D5  uninit-fields   Every scalar field of message/event/config structs in
+                      the wire-format files (src/core/messages.h,
+                      src/sim/message.h, src/raft/raft.h, src/vr/vr.h,
+                      src/core/config.h, src/chaos/spec.h) must carry a
+                      member initializer. An uninitialized field in a
+                      message struct is frame-garbage nondeterminism.
+  D6  threading       No std::thread/atomics/mutexes outside the parallel
+                      seed sweeper (src/chaos/sweep.cc) and bench/. The
+                      simulator itself is single-threaded by construction.
+
+Suppression grammar (see docs/STATIC_ANALYSIS.md):
+    // detlint: allow(D<k>) <reason>
+    // detlint: order-independent (<reason>)     [sugar for allow(D3)]
+A suppression applies to its own line, or — when it is the only thing on the
+line — to the next line. The reason is mandatory.
+
+Engines:
+  --engine=regex   Pure-Python lexer + pattern pass (always available; the
+                   engine CI gates on, so CI never hard-depends on libclang).
+  --engine=clang   libclang (clang Python bindings) AST pass for D1/D2/D3/D6
+                   call/type resolution; D4/D5 always run through the regex
+                   pass. Falls back to regex with a notice if the bindings
+                   are missing.
+  --engine=auto    clang if importable, else regex (default: regex, so runs
+                   are byte-stable across machines).
+
+Usage:
+    detlint.py [--root DIR] [--engine=regex|clang|auto] [--json[=PATH]]
+               [--selftest] [--list-rules] [files...]
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+VERSION = 1
+
+# Directories scanned relative to the repo root (files... overrides).
+SCAN_ROOTS = ("src", "tools", "bench", "examples")
+# detlint's own tree (including fixtures, which are violations on purpose).
+EXCLUDE_PREFIXES = ("tools/detlint",)
+CPP_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+
+# Protocol directories where hash-iteration order can reach protocol
+# decisions, verdicts, or the event schedule (rule D3).
+PROTOCOL_DIRS = (
+    "src/core", "src/raft", "src/vr", "src/leader", "src/baselines",
+    "src/sim", "src/checker", "src/chaos",
+)
+
+# Wire-format / spec files whose structs rule D5 audits.
+D5_FILES = (
+    "src/core/messages.h", "src/sim/message.h", "src/raft/raft.h",
+    "src/vr/vr.h", "src/core/config.h", "src/chaos/spec.h",
+)
+
+ALLOWLIST = {
+    "D1": ("src/common/time.h",),
+    "D2": ("src/common/rng.h",),
+    "D3": (),
+    "D4": (),
+    "D5": (),
+    "D6": ("src/chaos/sweep.cc", "bench/"),
+}
+
+RULES = {
+    "D1": "wall-clock or OS time source outside src/common/time.h",
+    "D2": "ambient randomness outside src/common/rng.h",
+    "D3": "unordered container in a protocol directory without an "
+          "order-independence justification",
+    "D4": "ordered container keyed on a raw pointer (allocation-order "
+          "nondeterminism)",
+    "D5": "scalar field of a wire-format struct without a member initializer",
+    "D6": "std::thread/atomic/mutex outside src/chaos/sweep.cc and bench/",
+}
+
+SUGGESTIONS = {
+    "D1": "route through sim::Clock / cht::LocalTime (src/common/time.h); "
+          "simulated components must never read the host clock",
+    "D2": "take an explicitly seeded cht::Rng (src/common/rng.h), or derive "
+          "a stream with Rng::split() / chaos::derive_seed()",
+    "D3": "use std::map/std::set, iterate a sorted copy, or append "
+          "'// detlint: order-independent (<why order cannot matter>)'",
+    "D4": "key on a stable id (ProcessId, OperationId, sequence number) "
+          "instead of the object's address",
+    "D5": "add a member initializer ('= 0', '= false', '{}') so a "
+          "default-constructed message has no indeterminate bits",
+    "D6": "keep simulated code single-threaded; parallelism belongs in the "
+          "seed sweeper (src/chaos/sweep.cc) or bench/ harnesses",
+}
+
+
+class Finding:
+    def __init__(self, rule, path, line, snippet, message=None):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.snippet = snippet.strip()
+        self.message = message or RULES[rule]
+        self.suggestion = SUGGESTIONS[rule]
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def to_json(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+
+# --- Lexing -------------------------------------------------------------------
+
+def strip_lines(text):
+    """Split a C++ source into per-line (code, comment) pairs.
+
+    String/char literals are blanked in `code` (their quotes kept), comments
+    removed from `code` and accumulated into `comment`. Handles multi-line
+    /* */ comments; raw strings are not used in this codebase and are
+    treated as ordinary literals.
+    """
+    out = []
+    in_block = False
+    for raw in text.splitlines():
+        code = []
+        comment = []
+        i, n = 0, len(raw)
+        while i < n:
+            c = raw[i]
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    comment.append(raw[i:])
+                    i = n
+                else:
+                    comment.append(raw[i:end])
+                    i = end + 2
+                    in_block = False
+                continue
+            if c == "/" and i + 1 < n and raw[i + 1] == "/":
+                comment.append(raw[i + 2:])
+                i = n
+                continue
+            if c == "/" and i + 1 < n and raw[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        code.append(quote)
+                        i += 1
+                        break
+                    i += 1
+                continue
+            code.append(c)
+            i += 1
+        out.append(("".join(code), " ".join(comment).strip()))
+    return out
+
+
+SUPPRESS_RE = re.compile(
+    r"detlint:\s*(?:allow\((D[1-6])\)\s*(\S.*)?|order-independent\s*(\(.+\))?)")
+
+
+def suppressions(comment):
+    """Rules suppressed by this comment; None-reason suppressions are invalid
+    (the justification grammar requires a reason) and are ignored."""
+    rules = set()
+    for m in SUPPRESS_RE.finditer(comment):
+        if m.group(1):                       # allow(Dk) reason
+            if m.group(2):
+                rules.add(m.group(1))
+        elif m.group(3):                     # order-independent (reason)
+            rules.add("D3")
+    return rules
+
+
+# --- Regex engine -------------------------------------------------------------
+
+D1_PATTERNS = [
+    re.compile(r"std::chrono::\w*_clock\b"),
+    re.compile(r"\bchrono::\w*_clock\b"),
+    re.compile(r"\bgettimeofday\s*\("),
+    re.compile(r"\bclock_gettime\s*\("),
+    re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"),
+    re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&\w+|\))"),
+    re.compile(r"\b(?:localtime|gmtime|mktime)\s*\("),
+]
+
+D2_PATTERNS = [
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"\bstd::mt19937(?:_64)?\b"),
+    re.compile(r"\bstd::default_random_engine\b"),
+    re.compile(r"\bstd::minstd_rand0?\b"),
+    re.compile(r"\bstd::ranlux\w+\b"),
+    re.compile(r"(?<![\w:.])s?rand\s*\("),
+    re.compile(r"\barc4random\w*\s*\("),
+    re.compile(r"\bgetentropy\s*\("),
+]
+D2_RAW_PATTERNS = [re.compile(r"/dev/u?random")]
+
+D4_PATTERNS = [
+    re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+    re.compile(r"std::priority_queue\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+]
+
+D6_PATTERNS = [
+    re.compile(r"\bstd::(?:jthread|thread)\b"),
+    re.compile(r"\bstd::atomic\b|\bstd::atomic_\w+\b"),
+    re.compile(r"\bstd::(?:shared_|recursive_)?mutex\b"),
+    re.compile(r"\bstd::condition_variable\b"),
+    re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+    re.compile(r"\bstd::(?:async|future|promise|packaged_task)\b"),
+    re.compile(r"#\s*include\s*<(?:thread|atomic|mutex|condition_variable|"
+               r"future|shared_mutex|semaphore|barrier|latch)>"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<")
+# `... > name ;|=|{` — the declared variable at the end of an unordered decl.
+UNORDERED_NAME_RE = re.compile(r">\s*(\w+)\s*(?:;|=|\{)")
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)")
+
+# D5 scalar field types that have indeterminate values unless initialized.
+D5_SCALAR = (
+    r"(?:std::)?u?int(?:8|16|32|64|ptr)?_t|(?:std::)?size_t|"
+    r"(?:unsigned\s+)?(?:long\s+long|long|int|short|char)|unsigned|"
+    r"bool|float|double|BatchNumber"
+)
+D5_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>(?:" + D5_SCALAR + r")(?:\s*\*)?)\s+"
+    r"(?P<name>\w+)\s*(?P<init>;|=|\{)")
+STRUCT_OPEN_RE = re.compile(r"^\s*(?:struct|class)\s+(\w+)[^;]*\{")
+
+
+def rel_in(path, prefixes):
+    return any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in prefixes)
+
+
+def allowlisted(rule, path):
+    return rel_in(path, ALLOWLIST[rule])
+
+
+def scan_file_regex(path, text):
+    """Run all six rules over one file. `path` is root-relative."""
+    findings = []
+    lines = strip_lines(text)
+    raw_lines = text.splitlines()
+
+    # Suppressions: own line, plus carry-over from a pure-comment line.
+    active = []
+    carried = set()
+    for code, comment in lines:
+        own = suppressions(comment)
+        effective = own | carried
+        carried = own if not code.strip() else set()
+        active.append(effective)
+
+    def emit(rule, lineno, message=None):
+        if allowlisted(rule, path):
+            return
+        if rule in active[lineno]:
+            return
+        findings.append(Finding(rule, path, lineno + 1,
+                                raw_lines[lineno], message))
+
+    in_protocol_dir = rel_in(path, PROTOCOL_DIRS)
+
+    # Pass 1: collect unordered-typed names (declarations and aliases).
+    unordered_names = set()
+    unordered_aliases = set()
+    for idx, (code, _) in enumerate(lines):
+        m = UNORDERED_ALIAS_RE.search(code)
+        if m:
+            unordered_aliases.add(m.group(1))
+        if UNORDERED_DECL_RE.search(code):
+            m = UNORDERED_NAME_RE.search(code)
+            if m:
+                unordered_names.add(m.group(1))
+        for alias in unordered_aliases:
+            m = re.search(r"\b" + re.escape(alias) + r"\s+(\w+)\s*(?:;|=|\{)",
+                          code)
+            if m:
+                unordered_names.add(m.group(1))
+
+    # Pass 2: per-line rules.
+    for idx, (code, _) in enumerate(lines):
+        raw = raw_lines[idx]
+        for pattern in D1_PATTERNS:
+            if pattern.search(code):
+                emit("D1", idx)
+                break
+        hit_d2 = any(p.search(code) for p in D2_PATTERNS) or \
+            any(p.search(raw) for p in D2_RAW_PATTERNS)
+        if hit_d2:
+            emit("D2", idx)
+        if in_protocol_dir:
+            if UNORDERED_DECL_RE.search(code) or \
+                    UNORDERED_ALIAS_RE.search(code):
+                emit("D3", idx,
+                     "unordered container declared in a protocol directory "
+                     "without an order-independence justification")
+            else:
+                for name in unordered_names:
+                    esc = re.escape(name)
+                    if re.search(r"for\s*\([^;)]*:\s*" + esc + r"\s*\)", code) \
+                            or re.search(r"\b" + esc + r"\s*\.\s*c?begin\s*\(",
+                                         code):
+                        emit("D3", idx,
+                             "iteration over unordered container '%s' "
+                             "(hash order is implementation-defined)" % name)
+                        break
+        for pattern in D4_PATTERNS:
+            if pattern.search(code):
+                emit("D4", idx)
+                break
+        for pattern in D6_PATTERNS:
+            if pattern.search(code):
+                emit("D6", idx)
+                break
+
+    # Pass 3: D5 struct-field audit (configured files only).
+    if path in D5_FILES:
+        depth = 0
+        struct_depth = []  # brace depth at which each open struct's body sits
+        for idx, (code, _) in enumerate(lines):
+            opens_struct = STRUCT_OPEN_RE.search(code)
+            if opens_struct:
+                struct_depth.append(depth + 1)
+            if struct_depth and depth == struct_depth[-1] and "(" not in code:
+                m = D5_FIELD_RE.search(code)
+                if m and m.group("init") == ";":
+                    emit("D5", idx,
+                         "field '%s %s' of a wire-format struct has no "
+                         "member initializer" % (m.group("type").strip(),
+                                                 m.group("name")))
+            depth += code.count("{") - code.count("}")
+            while struct_depth and depth < struct_depth[-1]:
+                struct_depth.pop()
+    return findings
+
+
+# --- Clang engine (optional) --------------------------------------------------
+
+def scan_files_clang(root, paths):
+    """AST-based pass for D1/D2/D3/D6 via the clang Python bindings; D4/D5
+    stay on the regex pass (type-pattern and field-initializer rules are
+    line-shaped anyway). Returns None if libclang is unavailable so the
+    caller can fall back."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:  # missing libclang.so despite bindings
+        return None
+
+    banned_calls = {
+        "gettimeofday": "D1", "clock_gettime": "D1", "time": "D1",
+        "clock": "D1", "localtime": "D1", "gmtime": "D1", "mktime": "D1",
+        "rand": "D2", "srand": "D2", "arc4random": "D2", "getentropy": "D2",
+    }
+    banned_types = {
+        "std::random_device": "D2", "std::mt19937": "D2",
+        "std::mt19937_64": "D2", "std::default_random_engine": "D2",
+        "std::thread": "D6", "std::jthread": "D6", "std::mutex": "D6",
+        "std::condition_variable": "D6", "std::atomic": "D6",
+    }
+    findings = []
+    args = ["-std=c++20", "-I" + os.path.join(root, "src"),
+            "-I" + os.path.join(root, "bench")]
+    for path in paths:
+        full = os.path.join(root, path)
+        try:
+            tu = index.parse(full, args=args)
+        except cindex.TranslationUnitLoadError:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if not loc.file or os.path.abspath(loc.file.name) != \
+                    os.path.abspath(full):
+                continue
+            rule = None
+            if cursor.kind == cindex.CursorKind.CALL_EXPR and \
+                    cursor.spelling in banned_calls:
+                rule = banned_calls[cursor.spelling]
+            elif cursor.kind in (cindex.CursorKind.VAR_DECL,
+                                 cindex.CursorKind.FIELD_DECL):
+                type_name = cursor.type.get_canonical().spelling
+                for banned, r in banned_types.items():
+                    if type_name.startswith(banned):
+                        rule = r
+                        break
+                if rule is None and rel_in(path, PROTOCOL_DIRS) and \
+                        "unordered_map" in type_name or \
+                        "unordered_set" in type_name:
+                    rule = "D3"
+            elif cursor.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(cursor.get_children())
+                if children:
+                    range_type = children[-2].type.get_canonical().spelling \
+                        if len(children) >= 2 else ""
+                    if rel_in(path, PROTOCOL_DIRS) and (
+                            "unordered_map" in range_type or
+                            "unordered_set" in range_type):
+                        rule = "D3"
+            if rule and not allowlisted(rule, path):
+                with open(full, "r", encoding="utf-8", errors="replace") as f:
+                    raw = f.read().splitlines()
+                lineno = loc.line
+                comment = raw[lineno - 1] if lineno <= len(raw) else ""
+                prev = raw[lineno - 2] if lineno >= 2 else ""
+                if rule in suppressions(comment) | suppressions(prev):
+                    continue
+                snippet = raw[lineno - 1] if lineno <= len(raw) else ""
+                findings.append(Finding(rule, path, lineno, snippet))
+    return findings
+
+
+# --- Driver -------------------------------------------------------------------
+
+def collect_files(root, explicit):
+    if explicit:
+        paths = []
+        for p in explicit:
+            rel = os.path.relpath(os.path.abspath(p), root)
+            paths.append(rel.replace(os.sep, "/"))
+        return sorted(paths)
+    paths = []
+    for scan_root in SCAN_ROOTS:
+        base = os.path.join(root, scan_root)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(CPP_SUFFIXES):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                rel = rel.replace(os.sep, "/")
+                if rel_in(rel, EXCLUDE_PREFIXES):
+                    continue
+                paths.append(rel)
+    return paths
+
+
+def run_scan(root, files, engine):
+    """Returns (findings, engine_used)."""
+    findings = []
+    engine_used = "regex"
+    clang_findings = None
+    if engine in ("clang", "auto"):
+        clang_findings = scan_files_clang(root, files)
+        if clang_findings is None:
+            if engine == "clang":
+                sys.stderr.write(
+                    "detlint: clang python bindings unavailable; "
+                    "falling back to --engine=regex\n")
+        else:
+            engine_used = "clang+regex"
+    for path in files:
+        full = os.path.join(root, path)
+        try:
+            with open(full, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            sys.stderr.write("detlint: cannot read %s: %s\n" % (path, e))
+            continue
+        file_findings = scan_file_regex(path, text)
+        if clang_findings is not None:
+            # The AST pass owns D1/D2/D3/D6 for files it parsed; keep the
+            # regex results for D4/D5 and merge, deduplicating by site.
+            file_findings = [f for f in file_findings
+                             if f.rule in ("D4", "D5")]
+            file_findings += [f for f in clang_findings if f.path == path]
+            seen = set()
+            deduped = []
+            for f in sorted(file_findings, key=Finding.key):
+                if f.key() not in seen:
+                    seen.add(f.key())
+                    deduped.append(f)
+            file_findings = deduped
+        findings.extend(file_findings)
+    findings.sort(key=Finding.key)
+    return findings, engine_used
+
+
+def report(findings, engine_used, json_out):
+    doc = {
+        "tool": "detlint",
+        "version": VERSION,
+        "engine": engine_used,
+        "counts": {},
+        "findings": [f.to_json() for f in findings],
+    }
+    for f in findings:
+        doc["counts"][f.rule] = doc["counts"].get(f.rule, 0) + 1
+    if json_out is not None:
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if json_out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(json_out, "w", encoding="utf-8") as f:
+                f.write(text)
+    if json_out != "-":
+        for f in findings:
+            print("%s:%d: [%s] %s" % (f.path, f.line, f.rule, f.message))
+            print("    %s" % f.snippet)
+            print("    fix: %s" % f.suggestion)
+        summary = ", ".join("%s=%d" % (r, n)
+                            for r, n in sorted(doc["counts"].items()))
+        print("detlint (%s): %d finding(s)%s" %
+              (engine_used, len(findings),
+               (" [" + summary + "]") if summary else ""))
+
+
+# --- Self-test ----------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"detlint-expect:\s*((?:D[1-6])(?:\s*,\s*D[1-6])*)")
+
+
+def selftest(tool_dir):
+    """Scan the fixture corpus and require findings to match the
+    `// detlint-expect: Dk` markers exactly — every seeded violation caught,
+    no false positives on the negative cases."""
+    corpus = os.path.join(tool_dir, "fixtures", "corpus")
+    if not os.path.isdir(corpus):
+        sys.stderr.write("detlint --selftest: missing fixture corpus at %s\n"
+                         % corpus)
+        return 2
+    files = collect_files(corpus, None)
+    expected = set()
+    for path in files:
+        with open(os.path.join(corpus, path), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    for rule in re.split(r"\s*,\s*", m.group(1)):
+                        expected.add((path, lineno, rule))
+    findings, _ = run_scan(corpus, files, "regex")
+    found = {f.key() for f in findings}
+    missed = sorted(expected - found)
+    surprise = sorted(found - expected)
+    for path, line, rule in missed:
+        print("MISSED  %s:%d expected %s not reported" % (path, line, rule))
+    for path, line, rule in surprise:
+        print("EXTRA   %s:%d unexpected %s finding" % (path, line, rule))
+    rules_seen = {rule for (_, _, rule) in expected}
+    missing_rules = sorted(set(RULES) - rules_seen)
+    if missing_rules:
+        print("CORPUS  no positive fixture for rule(s): %s"
+              % ", ".join(missing_rules))
+    ok = not missed and not surprise and not missing_rules
+    print("detlint selftest: %s (%d expected findings across %d files)"
+          % ("PASS" if ok else "FAIL", len(expected), len(files)))
+    return 0 if ok else 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="detlint", add_help=True)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this file)")
+    parser.add_argument("--engine", choices=("regex", "clang", "auto"),
+                        default="regex")
+    parser.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH", help="machine-readable output "
+                        "(to stdout with no PATH)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="check the rules against the fixture corpus")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args(argv)
+
+    tool_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%s  %s" % (rule, RULES[rule]))
+            print("    fix: %s" % SUGGESTIONS[rule])
+        return 0
+    if args.selftest:
+        return selftest(tool_dir)
+
+    root = args.root or os.path.dirname(os.path.dirname(tool_dir))
+    root = os.path.abspath(root)
+    files = collect_files(root, args.files or None)
+    findings, engine_used = run_scan(root, files, args.engine)
+    report(findings, engine_used, args.json)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

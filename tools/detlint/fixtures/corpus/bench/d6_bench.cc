@@ -1,0 +1,9 @@
+// Fixture: negative for rule D6 — bench/ harnesses may use threads (they
+// measure the real machine, not the simulation).
+#include <thread>
+
+namespace fixture {
+
+unsigned worker_count() { return std::thread::hardware_concurrency(); }
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: negative for rule D6 — src/chaos/sweep.cc is the allowlisted
+// home of the parallel seed sweeper; threads/atomics/mutexes are expected
+// here.
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+int sweep(int jobs) {
+  std::atomic<int> next{0};
+  std::mutex mu;
+  int done = 0;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= jobs) return;
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 2; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return done;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: the one file allowed to touch standard-library randomness (rule
+// D2 allowlists src/common/rng.h). Everything here is a negative case.
+#pragma once
+#include <random>
+
+namespace fixture {
+
+inline unsigned raw_draw(unsigned seed) {
+  std::mt19937 engine(seed);
+  return static_cast<unsigned>(engine());
+}
+
+inline unsigned entropy_seed() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the one file allowed to touch OS time sources (rule D1
+// allowlists src/common/time.h). Everything here is a negative case.
+#pragma once
+#include <ctime>
+
+namespace fixture {
+
+inline long monotonic_micros() {
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return ts.tv_sec * 1000000L + ts.tv_nsec / 1000L;
+}
+
+inline long wall_seconds() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture

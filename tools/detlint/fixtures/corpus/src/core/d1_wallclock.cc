@@ -1,0 +1,49 @@
+// Fixture: rule D1 — wall-clock / OS time sources in protocol code.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long bad_steady() {
+  auto t = std::chrono::steady_clock::now();  // detlint-expect: D1
+  return t.time_since_epoch().count();
+}
+
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // detlint-expect: D1
+}
+
+long bad_c_time() {
+  time_t now = time(nullptr);  // detlint-expect: D1
+  time_t now2 = time(&now);  // detlint-expect: D1
+  return static_cast<long>(now + now2);
+}
+
+long bad_gettimeofday() {
+  struct timeval {
+    long tv_sec;
+    long tv_usec;
+  } tv;
+  gettimeofday(&tv, nullptr);  // detlint-expect: D1
+  return tv.tv_sec;
+}
+
+long bad_clock_gettime() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // detlint-expect: D1
+  return ts.tv_sec;
+}
+
+// Negative cases: simulated-time vocabulary that merely contains the word
+// "time" must not trip the rule.
+struct Clock {
+  long local_time() const { return 17; }
+  long next_event_time() const { return 18; }
+};
+
+long good_simulated(const Clock& clock) {
+  long time_limit = 5;
+  return clock.local_time() + clock.next_event_time() + time_limit;
+}
+
+}  // namespace fixture

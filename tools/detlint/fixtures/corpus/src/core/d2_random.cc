@@ -1,0 +1,40 @@
+// Fixture: rule D2 — ambient randomness in protocol code.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_c_rand() {
+  srand(42);  // detlint-expect: D2
+  return rand();  // detlint-expect: D2
+}
+
+unsigned bad_random_device() {
+  std::random_device device;  // detlint-expect: D2
+  return device();
+}
+
+unsigned bad_default_seeded_twister() {
+  std::mt19937 engine;  // detlint-expect: D2
+  return static_cast<unsigned>(engine());
+}
+
+unsigned bad_default_engine() {
+  std::default_random_engine engine;  // detlint-expect: D2
+  return static_cast<unsigned>(engine());
+}
+
+// Negative cases: the repo's deterministic Rng vocabulary.
+struct Rng {
+  explicit Rng(unsigned long seed) : state_(seed) {}
+  unsigned long next_u64() { return state_ += 0x9e3779b97f4a7c15ULL; }
+  unsigned long state_;
+};
+
+unsigned long good_seeded(unsigned long seed) {
+  Rng rng(seed);
+  // Words like "randomized timeout" in comments must not trip the rule.
+  return rng.next_u64();
+}
+
+}  // namespace fixture

@@ -1,0 +1,58 @@
+// Fixture: rule D3 — unordered containers in protocol directories.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<int, int> pending_;  // detlint-expect: D3
+  std::unordered_set<int> acked_;  // detlint-expect: D3
+
+  // Negative: justified declaration (membership checks only, never iterated).
+  std::unordered_set<std::string> seen_;  // detlint: order-independent (insert/contains only; never iterated)
+
+  // Negative: a justification on its own line covers the next line.
+  // detlint: order-independent (memo cache; size() and contains() only)
+  std::unordered_set<std::string> memo_;
+
+  // Negative: ordered container, iteration order is well-defined.
+  std::map<int, int> batches_;
+
+  int bad_iteration() const {
+    int sum = 0;
+    for (const auto& [key, value] : pending_) {  // detlint-expect: D3
+      sum += key + value;
+    }
+    return sum;
+  }
+
+  int bad_iterator_loop() const {
+    int sum = 0;
+    for (auto it = acked_.begin(); it != acked_.end(); ++it) {  // detlint-expect: D3
+      sum += *it;
+    }
+    return sum;
+  }
+
+  // Negative: iterating the ordered mirror is fine.
+  int good_ordered_iteration() const {
+    int sum = 0;
+    for (const auto& [key, value] : batches_) sum += key + value;
+    return sum;
+  }
+
+  // Negative: justified iteration (e.g. accumulating a commutative sum).
+  int good_justified_iteration() const {
+    int sum = 0;
+    for (int v : acked_) sum += v;  // detlint: order-independent (commutative sum)
+    return sum;
+  }
+};
+
+// Alias declarations are hash containers too.
+using HotSet = std::unordered_set<int>;  // detlint-expect: D3
+
+}  // namespace fixture

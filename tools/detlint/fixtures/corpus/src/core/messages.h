@@ -1,0 +1,38 @@
+// Fixture: rule D5 — wire-format structs must initialize every scalar
+// field. (This path is on the D5 file list, mirroring the real repo's
+// src/core/messages.h.)
+#pragma once
+#include <string>
+#include <vector>
+
+namespace fixture::msg {
+
+struct Prepare {
+  std::int64_t term;  // detlint-expect: D5
+  long number;  // detlint-expect: D5
+  bool initial;  // detlint-expect: D5
+  double weight;  // detlint-expect: D5
+  std::vector<int> ops;       // negative: containers value-initialize
+  std::string origin;         // negative: strings value-initialize
+};
+
+struct Commit {
+  std::int64_t number = 0;    // negative: initialized
+  bool final_commit = false;  // negative: initialized
+  unsigned flags{0};          // negative: brace-initialized
+};
+
+struct Envelope {
+  char* payload;  // detlint-expect: D5
+  std::size_t length = 0;  // negative: initialized
+
+  // Negative: locals inside member functions are not fields.
+  int checksum() const {
+    int acc = 0;
+    long base;
+    base = 7;
+    return acc + static_cast<int>(base);
+  }
+};
+
+}  // namespace fixture::msg

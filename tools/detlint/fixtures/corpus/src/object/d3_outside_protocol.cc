@@ -1,0 +1,18 @@
+// Fixture: negative for rule D3 — src/object is not a protocol directory,
+// so unordered containers are allowed without justification there (object
+// models are pure state machines; they never drive scheduling decisions).
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Cache {
+  std::unordered_map<std::string, int> entries_;
+
+  int lookup_only(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: rule D6 — threading primitives in simulated protocol code. The
+// simulator is single-threaded by construction; parallelism lives in the
+// seed sweeper and bench harnesses only.
+#include <atomic>  // detlint-expect: D6
+#include <mutex>  // detlint-expect: D6
+#include <thread>  // detlint-expect: D6
+
+namespace fixture {
+
+struct Worker {
+  std::atomic<int> counter_{0};  // detlint-expect: D6
+  std::mutex mu_;  // detlint-expect: D6
+
+  void bad_spawn() {
+    std::thread t([this] { counter_.fetch_add(1); });  // detlint-expect: D6
+    t.join();
+  }
+
+  void bad_lock() {
+    std::lock_guard<std::mutex> lock(mu_);  // detlint-expect: D6
+  }
+
+  // Negative: suppressed with rationale.
+  void tolerated() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);  // detlint: allow(D6) documented fence experiment
+  }
+};
+
+}  // namespace fixture

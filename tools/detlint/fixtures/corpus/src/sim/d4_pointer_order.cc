@@ -1,0 +1,30 @@
+// Fixture: rule D4 — pointer-keyed ordered containers. Pointer comparison
+// order is allocation order: it varies run to run, so anything scheduled
+// from it is nondeterministic.
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Scheduler {
+  std::map<const Node*, int> deadline_by_node_;  // detlint-expect: D4
+  std::set<Node*> ready_;  // detlint-expect: D4
+  std::priority_queue<Node*> runnable_;  // detlint-expect: D4
+
+  // Negative: pointers as *values* of a deterministic key are fine.
+  std::map<int, Node*> node_by_id_;
+
+  // Negative: suppressed with rationale.
+  std::set<Node*> debug_only_;  // detlint: allow(D4) debug dump aid, never drives scheduling
+
+  // Negative: keying on stable ids.
+  std::map<int, int> deadline_by_id_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: rule D5 in a second wire-format file (mirrors src/sim/message.h).
+#pragma once
+#include <string>
+
+namespace fixture::sim {
+
+struct Event {
+  double at;  // detlint-expect: D5
+  int priority;  // detlint-expect: D5
+  std::string category;     // negative: value-initializes
+  bool network = false;     // negative: initialized
+};
+
+class Envelope {
+ public:
+  std::string type;         // negative: value-initializes
+
+ private:
+  std::int64_t seq_ = 0;    // negative: initialized
+  std::uint64_t stamp;  // detlint-expect: D5
+};
+
+}  // namespace fixture::sim
