@@ -1,6 +1,9 @@
 #include "baselines/megastore_chubby.h"
 
+#include <string>
+
 #include "common/assert.h"
+#include "sim/storage.h"
 
 namespace cht::baselines {
 
@@ -12,6 +15,22 @@ void ChubbyService::on_start() {
   session_expiry_.assign(cluster_size(), LocalTime::min());
 }
 
+void ChubbyService::on_restart() {
+  session_expiry_.assign(cluster_size(), LocalTime::min());
+  for (const std::string& key : storage().keys_with_prefix("session.")) {
+    const int client = std::stoi(key.substr(8));
+    session_expiry_.at(static_cast<std::size_t>(client)) =
+        LocalTime::micros(std::stoll(*storage().read(key)));
+  }
+}
+
+void ChubbyService::persist_session(int client) {
+  storage().write("session." + std::to_string(client),
+                  std::to_string(session_expiry_.at(
+                      static_cast<std::size_t>(client)).to_micros()));
+  sync_storage();
+}
+
 bool ChubbyService::session_alive(int client) {
   return session_expiry_.at(client) > now_local();
 }
@@ -20,6 +39,9 @@ void ChubbyService::on_message(const sim::Message& message) {
   if (message.is(chubby_msg::kKeepAlive)) {
     session_expiry_.at(message.from.index()) =
         now_local() + config_.session_ttl;
+    // Durable before the grant leaves: a restarted service must not think a
+    // granted, still-running session has expired.
+    persist_session(message.from.index());
     send(message.from, chubby_msg::kLeaseGrant,
          chubby_msg::LeaseGrant{config_.session_ttl});
   } else if (message.is(chubby_msg::kQuery)) {

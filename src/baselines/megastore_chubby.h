@@ -68,11 +68,18 @@ class ChubbyService : public sim::Process {
   explicit ChubbyService(ChubbyConfig config) : config_(config) {}
 
   void on_start() override;
+  // Session expiries are the service's acceptor-like state: a granted TTL is
+  // synced before the grant leaves, and a restarted service replays them —
+  // otherwise it would report live sessions as expired and let a writer
+  // invalidate a replica whose lease is still running.
+  void on_restart() override;
   void on_message(const sim::Message& message) override;
 
   bool session_alive(int client);
 
  private:
+  void persist_session(int client);
+
   ChubbyConfig config_;
   std::vector<LocalTime> session_expiry_;
 };

@@ -1,13 +1,25 @@
 #include "baselines/pql_lease.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.h"
+#include "sim/storage.h"
 
 namespace cht::baselines {
 
 void PqlProcess::on_start() {
   guarantee_expiry_.assign(cluster_size(), RealTime::min());
+  renewal_tick();
+}
+
+void PqlProcess::on_restart() {
+  guarantee_expiry_.assign(cluster_size(), RealTime::min());
+  // Leaseholder guarantees are conservatively gone; the grantor round is
+  // acceptor state and resumes past every round the previous incarnation
+  // could have promised.
+  if (const auto round = storage().read("round")) round_ = std::stoll(*round);
+  write_seq_ = static_cast<std::int64_t>(incarnation()) << 40;
   renewal_tick();
 }
 
@@ -18,6 +30,8 @@ void PqlProcess::renewal_tick() {
   // clockless skew, the second to activate the guarantee.
   ++round_;
   ++stats_.renewals_started;
+  storage().write("round", std::to_string(round_));
+  sync_storage();
   broadcast(msg::kPromise, msg::Promise{round_});
   schedule_after(config_.renewal_interval, [this] { renewal_tick(); });
 }

@@ -77,6 +77,10 @@ class PqlProcess : public sim::Process {
   explicit PqlProcess(PqlConfig config) : config_(config) {}
 
   void on_start() override;
+  // Recovers the grantor round (synced before each Promise broadcast, so a
+  // restarted grantor can never reuse a round number) and rejoins with all
+  // leaseholder-side guarantees conservatively dropped.
+  void on_restart() override;
   void on_message(const sim::Message& message) override;
 
   // True iff this process currently holds unexpired guarantees from a

@@ -51,6 +51,21 @@ class ChtreadAdapter final : public ClusterAdapter {
   bool crashed(int process) const override {
     return const_cast<harness::Cluster&>(cluster_).replica(process).crashed();
   }
+  void restart(int process) override { cluster_.restart(process); }
+  std::vector<OperationId> committed_op_ids() override {
+    std::vector<OperationId> ids;
+    for (int i = 0; i < n(); ++i) {
+      if (cluster_.replica(i).crashed()) continue;
+      const auto snap = cluster_.replica(i).snapshot();
+      for (const auto& [k, batch] : snap.batches) {
+        if (k > snap.applied_upto) continue;
+        for (const auto& bop : batch) {
+          if (!model().is_read(bop.op)) ids.push_back(bop.id);
+        }
+      }
+    }
+    return ids;
+  }
   int leader() override { return cluster_.steady_leader(); }
   bool await_quiesce(Duration timeout) override {
     return cluster_.await_quiesce(timeout);
@@ -136,6 +151,20 @@ class RaftAdapter final : public ClusterAdapter {
         .replica(process)
         .crashed();
   }
+  void restart(int process) override { cluster_.restart(process); }
+  std::vector<OperationId> committed_op_ids() override {
+    std::vector<OperationId> ids;
+    for (int i = 0; i < n(); ++i) {
+      auto& r = cluster_.replica(i);
+      if (r.crashed()) continue;
+      const auto& log = r.log();
+      const auto upto = static_cast<std::size_t>(r.commit_index());
+      for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
+        if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
+      }
+    }
+    return ids;
+  }
   int leader() override { return cluster_.leader(); }
   bool await_quiesce(Duration timeout) override {
     return cluster_.await_quiesce(timeout);
@@ -190,6 +219,7 @@ class RaftAdapter final : public ClusterAdapter {
   void merge_metrics_into(metrics::Registry& out) override {
     for (int i = 0; i < n(); ++i) {
       out.merge_from(cluster_.replica(i).metrics());
+      out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
     }
   }
 
@@ -219,6 +249,24 @@ class VrAdapter final : public ClusterAdapter {
   }
   bool crashed(int process) const override {
     return const_cast<harness::VrCluster&>(cluster_).replica(process).crashed();
+  }
+  void restart(int process) override { cluster_.restart(process); }
+  bool recovering(int process) const override {
+    auto& r = const_cast<harness::VrCluster&>(cluster_).replica(process);
+    return !r.crashed() && r.status() == vr::VrReplica::Status::kRecovering;
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    std::vector<OperationId> ids;
+    for (int i = 0; i < n(); ++i) {
+      auto& r = cluster_.replica(i);
+      if (r.crashed()) continue;
+      const auto& log = r.log();
+      const auto upto = static_cast<std::size_t>(r.commit_number());
+      for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
+        if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
+      }
+    }
+    return ids;
   }
   int leader() override { return cluster_.primary(); }
   bool await_quiesce(Duration timeout) override {
@@ -274,6 +322,7 @@ class VrAdapter final : public ClusterAdapter {
   void merge_metrics_into(metrics::Registry& out) override {
     for (int i = 0; i < n(); ++i) {
       out.merge_from(cluster_.replica(i).metrics());
+      out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
     }
   }
 

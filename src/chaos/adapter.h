@@ -38,6 +38,27 @@ class ClusterAdapter {
 
   virtual bool crashed(int process) const = 0;
 
+  // Power-cycles crashed process `process` back up: a fresh replica instance
+  // is attached to the slot's surviving StableStorage and runs the stack's
+  // recovery path (on_restart). Asserts if the process is not crashed.
+  virtual void restart(int process) = 0;
+
+  // True while `process` is up but still inside its stack's recovery
+  // protocol (VR's nonce recovery spans many message delays; storage-replay
+  // recovery is instantaneous and never reports true). The nemesis counts
+  // these as down for its crash budget: VR Revisited assumes at most a
+  // minority of replicas are simultaneously failed-or-recovering, and a
+  // budget blind to recovering nodes can legally drive every replica into
+  // recovery — a permanent deadlock (nobody normal is left to respond), not
+  // an implementation bug. Found by the power-cycle sweep, seed 4.
+  virtual bool recovering(int process) const { return false; }
+
+  // Ids of committed non-read operations, unioned over all currently-live
+  // replicas: applied-batch contents (chtread), the log prefix up to
+  // commit_index (raft) or commit_number (vr). The durability invariant
+  // checks every acknowledged write's id is in here after the run.
+  virtual std::vector<OperationId> committed_op_ids() = 0;
+
   // The protocol's current notion of "the leader": steady leader (chtread),
   // highest-term leader (raft), normal-status primary (vr); -1 if none.
   // The leader-hunter nemesis profile targets whoever this returns.

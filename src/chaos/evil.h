@@ -35,6 +35,13 @@ class EvilAdapter final : public ClusterAdapter {
   checker::HistoryRecorder& history() override { return inner_->history(); }
   void submit(int process, object::Operation op) override;
   bool crashed(int process) const override { return inner_->crashed(process); }
+  void restart(int process) override { inner_->restart(process); }
+  bool recovering(int process) const override {
+    return inner_->recovering(process);
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    return inner_->committed_op_ids();
+  }
   int leader() override { return inner_->leader(); }
   bool await_quiesce(Duration timeout) override {
     return inner_->await_quiesce(timeout);

@@ -1,5 +1,6 @@
 #include "chaos/invariants.h"
 
+#include <set>
 #include <sstream>
 
 #include "checker/linearizability.h"
@@ -12,14 +13,37 @@ InvariantReport check_invariants(ClusterAdapter& cluster,
   InvariantReport report;
   std::vector<std::string>& violations = report.violations;
 
-  // Liveness: with every fault healed, only a crashed submitter excuses a
-  // pending operation.
+  // Liveness: with every fault healed, only a crash at the submitter excuses
+  // a pending operation — including a crash the submitter has since
+  // *recovered* from (the crash wiped the in-memory client session, so the
+  // callback can never fire even though the process is live again).
   if (!quiesced) {
     for (const auto& op : cluster.history().ops()) {
-      if (!op.completed() && !cluster.crashed(op.process.index())) {
+      if (op.completed()) continue;
+      if (cluster.crashed(op.process.index())) continue;
+      if (cluster.sim().crashed_at_or_after(op.process, op.invoked)) continue;
+      std::ostringstream os;
+      os << "liveness: " << op.op << " submitted at live " << op.process
+         << " never completed";
+      violations.push_back(os.str());
+    }
+  }
+
+  // Durability: every acknowledged write must still be committed on some
+  // live replica. Power cycles tear/lose unsynced storage writes at crash,
+  // so this is exactly the claim that each stack's sync-before-externalize
+  // discipline is placed correctly: an op the cluster responded to may never
+  // roll back, no matter how many crash/recover cycles follow the ack.
+  {
+    const auto ids = cluster.committed_op_ids();
+    const std::set<OperationId> committed(ids.begin(), ids.end());
+    for (const auto& op : cluster.history().ops()) {
+      if (!op.completed() || cluster.model().is_read(op.op)) continue;
+      if (!op.id.process.valid()) continue;  // submit path exposed no id
+      if (!committed.contains(op.id)) {
         std::ostringstream os;
-        os << "liveness: " << op.op << " submitted at live " << op.process
-           << " never completed";
+        os << "durability: acked write " << op.id << " (" << op.op
+           << ") is no longer committed on any live replica";
         violations.push_back(os.str());
       }
     }

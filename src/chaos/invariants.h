@@ -8,7 +8,11 @@
 //                        instead (the paper's Section 1 robustness claim)
 //   liveness             after the nemesis healed every fault and the run
 //                        quiesced, an operation may remain pending only if
-//                        its submitting process crashed
+//                        its submitting process crashed while it was open
+//                        (even if that process has since restarted)
+//   durability           every acknowledged write is still committed on some
+//                        live replica — power cycles that lose unsynced
+//                        storage writes must never roll back an acked op
 //   protocol invariants  per-stack final-state checks supplied by the
 //                        adapter: election safety / single steady leader,
 //                        committed-prefix agreement, ...

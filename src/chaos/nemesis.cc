@@ -17,6 +17,8 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
   p.partition_max = 60 * delta;
   p.link_delay_max = 8 * delta;
   p.gst_shift_max = 40 * delta;
+  p.downtime_min = 10 * delta;
+  p.downtime_max = 40 * delta;
   if (name == "calm") {
     return p;
   }
@@ -33,6 +35,21 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
     p.w_crash = 0.25;
     p.w_isolate = 0.5;
     p.w_partition = 0.5;
+    p.w_link_delay = 0.2;
+    p.max_crashes = 2;
+    return p;
+  }
+  if (name == "power-cycle") {
+    // Rolling restarts: processes bounce (crash + powered-off downtime +
+    // recovery from stable storage) continuously, never more than a minority
+    // down at once but with no bound on total cycles, plus enough partition
+    // pressure that recovering replicas rejoin under message loss. This is
+    // the profile the durability invariant earns its keep on: every
+    // acknowledged write must survive arbitrarily many of these cycles even
+    // though each crash tears/loses unsynced storage writes.
+    p.w_bounce = 1.0;
+    p.w_restart = 0.35;
+    p.w_partition = 0.3;
     p.w_link_delay = 0.2;
     p.max_crashes = 2;
     return p;
@@ -54,7 +71,8 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
 
 const std::vector<std::string>& known_profiles() {
   static const std::vector<std::string> kProfiles = {
-      "calm", "rolling-partitions", "leader-hunter", "clock-storm"};
+      "calm", "rolling-partitions", "leader-hunter", "clock-storm",
+      "power-cycle"};
   return kProfiles;
 }
 
@@ -67,7 +85,8 @@ void Nemesis::arm(Duration active_window) {
   const double total = profile_.w_partition + profile_.w_isolate +
                        profile_.w_crash + profile_.w_link_delay +
                        profile_.w_clock_skew + profile_.w_gst_shift +
-                       profile_.w_duplicate;
+                       profile_.w_duplicate + profile_.w_restart +
+                       profile_.w_bounce;
   if (total <= 0) return;  // calm: nothing to schedule
   tick_timer_ = cluster_.sim().after(
       Duration::micros(rng_.next_in(profile_.tick_min.to_micros(),
@@ -99,16 +118,36 @@ void Nemesis::note(const std::string& line) {
   log_.push_back(os.str());
 }
 
+int Nemesis::down_now() const {
+  // A replica still running its recovery protocol counts as down: VR's
+  // recovery needs a majority of *normal* replicas to answer, so crashing
+  // another process while one is mid-recovery can exceed the protocol's
+  // failure assumption (see ClusterAdapter::recovering).
+  int down = 0;
+  for (int i = 0; i < cluster_.n(); ++i) {
+    if (cluster_.crashed(i) || cluster_.recovering(i)) ++down;
+  }
+  return down;
+}
+
+void Nemesis::do_restart(int p) {
+  pending_restarts_.erase(p);
+  ++restarts_;
+  cluster_.restart(p);
+  note("restart p" + std::to_string(p));
+}
+
 void Nemesis::act() {
   const double weights[] = {profile_.w_partition, profile_.w_isolate,
                             profile_.w_crash,     profile_.w_link_delay,
                             profile_.w_clock_skew, profile_.w_gst_shift,
-                            profile_.w_duplicate};
+                            profile_.w_duplicate,  profile_.w_restart,
+                            profile_.w_bounce};
   double total = 0;
   for (double w : weights) total += w;
   double draw = rng_.next_double() * total;
   int action = 0;
-  while (action < 6 && draw >= weights[action]) {
+  while (action < 8 && draw >= weights[action]) {
     draw -= weights[action];
     ++action;
   }
@@ -162,9 +201,9 @@ void Nemesis::act() {
       });
       break;
     }
-    case 2: {  // crash, bounded to a minority
+    case 2: {  // crash, bounded to a minority down at once
       const int budget = std::min(profile_.max_crashes, (n - 1) / 2);
-      if (crashes_ >= budget || cluster_.crashed(a)) break;
+      if (down_now() >= budget || cluster_.crashed(a)) break;
       ++crashes_;
       sim.crash(ProcessId(a));
       note("crash p" + std::to_string(a));
@@ -198,7 +237,7 @@ void Nemesis::act() {
       }
       break;
     }
-    default: {  // duplication burst (bites while the network is pre-GST)
+    case 6: {  // duplication burst (bites while the network is pre-GST)
       if (duplication_on_) break;
       duplication_on_ = true;
       sim.network().set_pre_gst_duplicate_probability(0.3);
@@ -210,6 +249,43 @@ void Nemesis::act() {
           duplication_on_ = false;
           cluster_.sim().network().set_pre_gst_duplicate_probability(0.0);
           note("duplication off");
+        }
+      });
+      break;
+    }
+    case 7: {  // restart: power a crashed process back up early
+      int count = 0;
+      for (int i = 0; i < n; ++i) {
+        if (cluster_.crashed(i)) ++count;
+      }
+      if (count == 0) break;
+      // Deterministic choice among the currently-down (skip bounce victims
+      // only if everything down is bounce-pending — an early power-on then
+      // just preempts the scheduled one, which no-ops at fire time).
+      int pick = static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(count)));
+      for (int i = 0; i < n; ++i) {
+        if (!cluster_.crashed(i)) continue;
+        if (pick-- == 0) {
+          do_restart(i);
+          break;
+        }
+      }
+      break;
+    }
+    default: {  // bounce: crash now, restart after a drawn powered-off spell
+      const int budget = std::min(profile_.max_crashes, (n - 1) / 2);
+      if (down_now() >= budget || cluster_.crashed(a)) break;
+      const Duration downtime = Duration::micros(rng_.next_in(
+          profile_.downtime_min.to_micros(), profile_.downtime_max.to_micros()));
+      ++crashes_;
+      pending_restarts_.insert(a);
+      sim.crash(ProcessId(a));
+      note("bounce p" + std::to_string(a) + " down for " +
+           std::to_string(downtime.to_millis_f()) + "ms");
+      sim.after(downtime, [this, a] {
+        if (pending_restarts_.contains(a) && cluster_.crashed(a)) {
+          do_restart(a);
         }
       });
       break;
@@ -241,6 +317,16 @@ void Nemesis::stop_and_heal() {
   }
   if (sim.network().config().gst > sim.now()) {
     sim.network().set_gst(sim.now());
+  }
+  // Under a power-cycling profile the outage ends here: everything still
+  // down comes back up and recovers, so liveness can demand full quiescence.
+  // Profiles without restart weight keep the historical crash-stop behavior
+  // (and their byte-identical fingerprints).
+  if (profile_.w_restart > 0 || profile_.w_bounce > 0) {
+    pending_restarts_.clear();
+    for (int i = 0; i < cluster_.n(); ++i) {
+      if (cluster_.crashed(i)) do_restart(i);
+    }
   }
   note("nemesis stopped; all faults healed");
 }

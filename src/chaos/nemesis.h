@@ -9,6 +9,12 @@
 //   clock skew       clock-offset bump, within or beyond epsilon
 //   gst shift        push GST into the future (re-opens asynchrony)
 //   duplication      raise the pre-GST duplicate probability for a while
+//   restart          power a crashed process back up (recovery path runs)
+//   bounce           power cycle: crash now, restart after a drawn downtime
+//
+// Crashes are budgeted by how many processes are down *right now*, so a
+// restart refunds the budget: profiles with restart/bounce weight can cycle
+// through every process over a run while never exceeding a minority down.
 //
 // Intensity profiles weight these actions. "leader-hunter" resolves its
 // victim at fire time via ClusterAdapter::leader(), so it chases leadership
@@ -43,6 +49,8 @@ struct NemesisProfile {
   double w_clock_skew = 0;
   double w_gst_shift = 0;
   double w_duplicate = 0;
+  double w_restart = 0;
+  double w_bounce = 0;
 
   // Fault shaping.
   Duration partition_min = Duration::millis(100);
@@ -52,7 +60,13 @@ struct NemesisProfile {
   // beyond epsilon this knowingly breaks the paper's synchrony assumption.
   Duration clock_skew_max = Duration::zero();
   Duration gst_shift_max = Duration::millis(400);
-  int max_crashes = 0;  // additionally clamped to a minority of n
+  // Downtime a bounced process spends powered off before its restart.
+  Duration downtime_min = Duration::millis(100);
+  Duration downtime_max = Duration::millis(500);
+  // Bound on processes down at once (additionally clamped to a minority of
+  // n). With restart/bounce weight this is a concurrency bound, not a total:
+  // restarts refund it.
+  int max_crashes = 0;
   // Aim faults at whoever leader() currently returns.
   bool target_leader = false;
 
@@ -62,8 +76,8 @@ struct NemesisProfile {
   bool allows_stale_reads = false;
 };
 
-// Built-in profiles, scaled to the run's delta/epsilon:
-// "calm", "rolling-partitions", "leader-hunter", "clock-storm".
+// Built-in profiles, scaled to the run's delta/epsilon: "calm",
+// "rolling-partitions", "leader-hunter", "clock-storm", "power-cycle".
 NemesisProfile nemesis_profile(const std::string& name, Duration delta,
                                Duration epsilon);
 
@@ -77,18 +91,25 @@ class Nemesis {
 
   // Ends the chaos: cancels pending ticks, heals all partitions and
   // isolation, restores clock offsets and duplication, and pulls GST back to
-  // "stabilized now" if an earlier shift pushed it past the present. Crashed
-  // processes stay crashed (crash-stop model).
+  // "stabilized now" if an earlier shift pushed it past the present. Under a
+  // profile with restart/bounce weight, every process still down is powered
+  // back up ("the outage ends"); otherwise crashed processes stay crashed
+  // (crash-stop model), preserving the historical profiles' runs exactly.
   void stop_and_heal();
 
   const std::vector<std::string>& schedule_log() const { return log_; }
   int crashes() const { return crashes_; }
+  int restarts() const { return restarts_; }
 
  private:
   void tick();
   void act();
   int pick_victim();
   void note(const std::string& line);
+  // Number of processes down right now (the crash budget's denominator).
+  int down_now() const;
+  // Powers crashed process p back up and logs it.
+  void do_restart(int p);
 
   ClusterAdapter& cluster_;
   NemesisProfile profile_;
@@ -100,6 +121,10 @@ class Nemesis {
   std::set<int> isolated_;
   std::set<int> skewed_;
   int crashes_ = 0;
+  int restarts_ = 0;
+  // Processes with a bounce-scheduled restart still pending; membership is
+  // checked at fire time so stop_and_heal's revival can't double-restart.
+  std::set<int> pending_restarts_;
   bool duplication_on_ = false;
   std::vector<std::string> log_;
 };

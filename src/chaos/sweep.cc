@@ -88,7 +88,13 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
   const auto live_inflight = [&cluster] {
     std::size_t open = 0;
     for (const auto& op : cluster.history().ops()) {
-      if (!op.completed() && !cluster.crashed(op.process.index())) ++open;
+      if (op.completed()) continue;
+      // An op orphaned by a crash of its submitter stays open forever even
+      // if the submitter restarted (the crash wiped the client session); it
+      // no longer adds client load either way.
+      if (cluster.crashed(op.process.index())) continue;
+      if (cluster.sim().crashed_at_or_after(op.process, op.invoked)) continue;
+      ++open;
     }
     return open;
   };
@@ -131,6 +137,7 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
   result.completed = cluster.completed();
   result.leadership_changes = cluster.leadership_changes();
   result.crashes = nemesis.crashes();
+  result.restarts = nemesis.restarts();
   result.nemesis_schedule = nemesis.schedule_log();
   const auto& events = cluster.sim().trace().events();
   const std::size_t start =
@@ -186,7 +193,9 @@ bool write_artifact(const std::string& path, const RunResult& result) {
       << "check_budget=" << s.check_budget << "\n"
       << "quiesce_timeout_s=" << s.quiesce_timeout_s << "\n"
       << "fingerprint=" << result.fingerprint << "\n"
-      << "quiesced=" << (result.quiesced ? 1 : 0) << "\n";
+      << "quiesced=" << (result.quiesced ? 1 : 0) << "\n"
+      << "crashes=" << result.crashes << "\n"
+      << "restarts=" << result.restarts << "\n";
   out << "\n[violations]\n";
   for (const auto& v : result.violations) out << v << "\n";
   out << "\n[nemesis-schedule]\n";

@@ -46,6 +46,9 @@ struct RunResult {
   // corpus seeds.
   std::int64_t leadership_changes = 0;
   int crashes = 0;
+  // Power-ups performed by the nemesis (restart/bounce actions plus the
+  // end-of-run revival under power-cycling profiles).
+  int restarts = 0;
   std::string fingerprint;
   std::vector<std::string> nemesis_schedule;
   std::vector<std::string> trace_tail;

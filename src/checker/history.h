@@ -23,6 +23,11 @@ struct HistoryOp {
   RealTime invoked;
   std::optional<RealTime> responded;  // nullopt => pending at end of run
   std::optional<object::Response> response;
+  // Protocol-level id of the operation, when the submitting stack exposes
+  // one (RMW paths do; local reads never enter a log and keep the invalid
+  // default). The durability invariant joins on this id to ask "is every
+  // acknowledged write still committed somewhere after the power cycles".
+  OperationId id{};
 
   bool completed() const { return responded.has_value(); }
   Duration latency() const {
@@ -38,7 +43,7 @@ class HistoryRecorder {
 
   Token begin(ProcessId process, object::Operation op, RealTime now) {
     ops_.push_back(HistoryOp{process, std::move(op), now, std::nullopt,
-                             std::nullopt});
+                             std::nullopt, OperationId{}});
     return ops_.size() - 1;
   }
 
@@ -46,6 +51,10 @@ class HistoryRecorder {
     ops_.at(token).responded = now;
     ops_.at(token).response = std::move(response);
   }
+
+  // Attaches the protocol-level operation id once the submit path returns
+  // it (after begin(), which only knows the client-facing request).
+  void set_id(Token token, OperationId id) { ops_.at(token).id = id; }
 
   const std::vector<HistoryOp>& ops() const { return ops_; }
   std::vector<HistoryOp>& mutable_ops() { return ops_; }

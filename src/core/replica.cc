@@ -1,16 +1,51 @@
 #include "core/replica.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "sim/storage.h"
 
 namespace cht::core {
 
 namespace {
 constexpr const char* kTag = "replica";
+
+// Stable-storage schema. "promised" and "est" are synced before the message
+// they back leaves the process; "batch.<j>" records ride along with the next
+// sync (losing one only loses committed data a majority still holds).
+constexpr const char* kKeyPromised = "promised";
+constexpr const char* kKeyEstimate = "est";
+constexpr const char* kBatchKeyPrefix = "batch.";
+
+std::string encode_batch(const Batch& ops) {
+  std::vector<std::string> fields;
+  fields.reserve(ops.size() * 4);
+  for (const BatchOp& b : ops) {
+    fields.push_back(std::to_string(b.id.process.index()));
+    fields.push_back(std::to_string(b.id.seq));
+    fields.push_back(b.op.kind);
+    fields.push_back(b.op.arg);
+  }
+  return sim::encode_fields(fields);
 }
+
+Batch decode_batch(const std::string& record) {
+  const std::vector<std::string> fields = sim::decode_fields(record);
+  CHT_ASSERT(fields.size() % 4 == 0, "malformed batch record");
+  Batch ops;
+  ops.reserve(fields.size() / 4);
+  for (std::size_t i = 0; i < fields.size(); i += 4) {
+    ops.push_back(BatchOp{OperationId{ProcessId(std::stoi(fields[i])),
+                                      std::stoll(fields[i + 1])},
+                          object::Operation{fields[i + 2], fields[i + 3]}});
+  }
+  return ops;
+}
+
+}  // namespace
 
 Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
                  Config config)
@@ -39,6 +74,9 @@ Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
   span_leader_init_ = metrics::Span(&metrics_.histogram("span.leader.init_us"));
   span_leader_reign_ =
       metrics::Span(&metrics_.histogram("span.leader.reign_us"));
+  c_recoveries_ = &metrics_.counter("recoveries");
+  c_recovered_batches_ = &metrics_.counter("recovery_batches_replayed");
+  span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
 }
 
 void Replica::end_span(metrics::Span& span, const char* name) {
@@ -81,17 +119,66 @@ Replica::Stats Replica::stats_from_registry() const {
 
 void Replica::on_start() {
   state_ = model_->make_initial_state();
+  seed_op_sequences();
   omega_.start();
   els_.start();
   leader_check_tick();
   anti_entropy_tick();
 }
 
+void Replica::on_restart() {
+  span_recovery_.begin(now_local().to_micros());
+  c_recoveries_->inc();
+  state_ = model_->make_initial_state();
+  seed_op_sequences();
+  recover_from_storage();
+  omega_.start();
+  els_.recover();  // resumes the persisted support counter (EL1 across crash)
+  leader_check_tick();
+  anti_entropy_tick();
+}
+
+void Replica::seed_op_sequences() {
+  // A fresh incarnation must never reuse an OperationId from a previous life
+  // (committed RMWs are deduplicated by id, so a reused id would silently
+  // swallow the new operation). Namespacing the sequence by incarnation
+  // avoids the alternative of an fsync on every submit.
+  const std::int64_t base = static_cast<std::int64_t>(incarnation()) << 40;
+  rmw_seq_ = base;
+  read_seq_ = base;
+}
+
+void Replica::recover_from_storage() {
+  sim::StableStorage& st = storage();
+  for (const std::string& key : st.keys_with_prefix(kBatchKeyPrefix)) {
+    const BatchNumber j = std::stoll(key.substr(6));
+    store_batch(j, decode_batch(*st.read(key)));
+    c_recovered_batches_->inc();
+  }
+  if (const auto promised = st.read(kKeyPromised)) {
+    promised_ = LocalTime::micros(std::stoll(*promised));
+  }
+  if (const auto est = st.read(kKeyEstimate)) {
+    const std::vector<std::string> fields = sim::decode_fields(*est);
+    CHT_ASSERT(fields.size() == 4, "malformed estimate record");
+    const LocalTime ts = LocalTime::micros(std::stoll(fields[0]));
+    const BatchNumber k = std::stoll(fields[1]);
+    // The estimate record embeds Batch[k-1] so a torn crash can never leave
+    // an estimate without its predecessor (I2 holds record-atomically).
+    if (k >= 2) store_batch(k - 1, decode_batch(fields[3]));
+    adopt_estimate(decode_batch(fields[2]), ts, k);
+  }
+  apply_ready();
+  trace_event("recovery",
+              "batches=" + std::to_string(batches_.size()) +
+                  " applied=" + std::to_string(applied_upto_));
+}
+
 // ===========================================================================
 // Client API (Thread 1)
 // ===========================================================================
 
-void Replica::submit_rmw(object::Operation op, Callback callback) {
+OperationId Replica::submit_rmw(object::Operation op, Callback callback) {
   CHT_ASSERT(!model_->is_read(op), "submit_rmw called with a read operation");
   c_rmws_submitted_->inc();
   const OperationId id{this->id(), ++rmw_seq_};
@@ -101,6 +188,7 @@ void Replica::submit_rmw(object::Operation op, Callback callback) {
   CHT_ASSERT(inserted, "duplicate RMW id");
   (void)it;
   rmw_send(id);
+  return id;
 }
 
 void Replica::rmw_send(const OperationId& id) {
@@ -252,6 +340,7 @@ void Replica::become_leader(LocalTime t) {
   CHT_DEBUG(kTag) << id() << " becomes leader at " << t;
   trace_event("leader.become", "t=" + std::to_string(t.to_micros()));
   c_became_leader_->inc();
+  end_span(span_recovery_, "span.recovery");  // recovered straight to leading
   span_leader_init_.begin(t.to_micros());
   span_leader_reign_.begin(t.to_micros());
   phase_ = Phase::kCollecting;
@@ -408,6 +497,9 @@ void Replica::start_doops(Batch ops, BatchNumber number, bool initial) {
   span_doops_total_.begin(doops_->prepare_started.to_micros());
   // Line 53: adopt (O, t, j) as our own estimate.
   adopt_estimate(std::move(ops), leader_time_, number);
+  // Our self-ack counts toward the majority, so our adoption must be as
+  // durable as any follower's before the first Prepare goes out.
+  sync_storage();
   send_prepares();
   maybe_reach_majority();  // n == 1: our own ack already is a majority
 }
@@ -736,6 +828,10 @@ void Replica::on_est_req(ProcessId from, const msg::EstReq& request) {
     CHT_ASSERT(it != batches_.end(), "I2 violated: estimate without prev batch");
     reply.prev_batch = it->second;
   }
+  // The promise must survive a crash: a recovered process that forgot it
+  // could ack an older leader's Prepare the live quorum already superseded.
+  persist_promised();
+  sync_storage();
   send(from, msg::kEstReply, reply);
 }
 
@@ -744,6 +840,26 @@ void Replica::adopt_estimate(Batch ops, LocalTime t, BatchNumber j) {
              "I2 violated: adopting estimate without previous batch");
   pending_batch_[j] = ops;
   estimate_ = Estimate{std::move(ops), t, j};
+  persist_estimate();
+}
+
+void Replica::persist_promised() {
+  storage().write(kKeyPromised, std::to_string(promised_.to_micros()));
+}
+
+void Replica::persist_estimate() {
+  CHT_ASSERT(estimate_.has_value(), "persisting an absent estimate");
+  Batch prev;
+  if (estimate_->k >= 2) prev = batches_.at(estimate_->k - 1);
+  storage().write(
+      kKeyEstimate,
+      sim::encode_fields({std::to_string(estimate_->ts.to_micros()),
+                          std::to_string(estimate_->k),
+                          encode_batch(estimate_->ops), encode_batch(prev)}));
+}
+
+void Replica::persist_batch(BatchNumber number, const Batch& ops) {
+  storage().write(kBatchKeyPrefix + std::to_string(number), encode_batch(ops));
 }
 
 void Replica::on_prepare(ProcessId from, const msg::Prepare& prepare) {
@@ -759,12 +875,18 @@ void Replica::on_prepare(ProcessId from, const msg::Prepare& prepare) {
   if (prepare.leader_time >= promised_ && fresh) {
     promised_ = prepare.leader_time;
     adopt_estimate(prepare.ops, prepare.leader_time, prepare.number);
+    // Durability before the ack leaves: the leader counts this process
+    // toward its majority (and leaseholder gate) on the strength of the ack,
+    // so the adopted estimate and promise must survive a crash.
+    persist_promised();
+    sync_storage();
     send(from, msg::kPrepareAck,
          msg::PrepareAck{prepare.leader_time, prepare.number});
   }
 }
 
 void Replica::on_commit(const msg::Commit& commit) {
+  end_span(span_recovery_, "span.recovery");  // first post-restart live sign
   store_batch(commit.number, commit.ops);
   pending_batch_.erase(commit.number);
   apply_ready();
@@ -773,6 +895,7 @@ void Replica::on_commit(const msg::Commit& commit) {
 }
 
 void Replica::on_lease_grant(ProcessId from, const msg::LeaseGrant& grant) {
+  end_span(span_recovery_, "span.recovery");  // first post-restart live sign
   if (!grant.leaseholders.contains(id().index())) {
     // We were dropped from the leaseholder set (we missed a Prepare round);
     // ask to be reintegrated (lines 45-46 / 102-104).
@@ -812,6 +935,7 @@ void Replica::store_batch(BatchNumber number, const Batch& ops) {
                "I1 violated: operation in two batches");
   }
   batches_.emplace(number, ops);
+  persist_batch(number, ops);
   max_known_batch_ = std::max(max_known_batch_, number);
 }
 

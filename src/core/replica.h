@@ -56,11 +56,19 @@ class Replica : public sim::Process {
 
   // --- Client API (paper Thread 1). Callbacks fire exactly once, possibly
   // synchronously (a non-blocking read completes inside submit_read).
-  void submit_rmw(object::Operation op, Callback callback);
+  // submit_rmw returns the operation's protocol-level id so harnesses can
+  // later ask "did this acknowledged write survive" (durability checking).
+  OperationId submit_rmw(object::Operation op, Callback callback);
   void submit_read(object::Operation op, Callback callback);
 
   // --- sim::Process ---------------------------------------------------------
   void on_start() override;
+  // Crash-recovery extension (not in the paper, which assumes crash-stop;
+  // deviation documented in DESIGN.md): replays the acceptor-side state that
+  // was synced to StableStorage before any promise or acknowledgement left
+  // this process, then rejoins as a follower. The lease is deliberately not
+  // restored — a recovered process re-earns reads via a fresh LeaseGrant.
+  void on_restart() override;
   void on_message(const sim::Message& message) override;
 
   // --- Introspection (tests, invariant checkers, benches) -------------------
@@ -193,6 +201,12 @@ class Replica : public sim::Process {
   // Shared machinery.
   void adopt_estimate(Batch ops, LocalTime t, BatchNumber j);
   void store_batch(BatchNumber number, const Batch& ops);
+  // Crash recovery: stable-storage schema and replay (see on_restart).
+  void seed_op_sequences();
+  void persist_promised();
+  void persist_estimate();
+  void persist_batch(BatchNumber number, const Batch& ops);
+  void recover_from_storage();
   void apply_ready();
   void complete_rmw(const OperationId& id, const object::Response& response);
   void rmw_send(const OperationId& id);
@@ -228,6 +242,9 @@ class Replica : public sim::Process {
   metrics::Span span_doops_total_;      // Prepare broadcast -> commit
   metrics::Span span_leader_init_;      // become_leader -> steady
   metrics::Span span_leader_reign_;     // become_leader -> abdicate
+  metrics::Counter* c_recoveries_;
+  metrics::Counter* c_recovered_batches_;
+  metrics::Span span_recovery_;         // restart -> first live-protocol sign
   // Ends a protocol-phase span and mirrors it into sim::Trace.
   void end_span(metrics::Span& span, const char* name);
 

@@ -20,6 +20,9 @@ Cluster::Cluster(ClusterConfig config,
 void Cluster::merge_metrics_into(metrics::Registry& out) {
   for (int i = 0; i < config_.n; ++i) {
     out.merge_from(replica(i).metrics());
+    // Storage lives beside the replica (it survives incarnations), so its
+    // fsync count is merged here rather than in the replica registry.
+    out.add("fsyncs", sim_.storage(ProcessId(i)).fsyncs());
   }
 }
 
@@ -38,8 +41,14 @@ void Cluster::submit(int i, object::Operation op,
   if (model_->is_read(op)) {
     target.submit_read(std::move(op), std::move(callback));
   } else {
-    target.submit_rmw(std::move(op), std::move(callback));
+    history_.set_id(token,
+                    target.submit_rmw(std::move(op), std::move(callback)));
   }
+}
+
+void Cluster::restart(int i) {
+  sim_.restart(ProcessId(i),
+               std::make_unique<core::Replica>(model_, core_config_));
 }
 
 bool Cluster::await_quiesce(Duration timeout) {

@@ -67,6 +67,11 @@ class Cluster {
   void submit(int i, object::Operation op,
               core::Replica::Callback callback = nullptr);
 
+  // Power-cycles crashed process i back up: builds a fresh Replica over the
+  // same model/config and hands it to Simulation::restart, which reattaches
+  // it to slot i's surviving StableStorage and calls on_restart().
+  void restart(int i);
+
   // Runs the simulation for `d` of real time.
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
 

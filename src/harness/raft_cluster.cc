@@ -28,8 +28,14 @@ void RaftCluster::submit(int i, object::Operation op) {
   if (model_->is_read(op)) {
     target.submit_read(std::move(op), std::move(callback));
   } else {
-    target.submit_rmw(std::move(op), std::move(callback));
+    history_.set_id(token,
+                    target.submit_rmw(std::move(op), std::move(callback)));
   }
+}
+
+void RaftCluster::restart(int i) {
+  sim_.restart(ProcessId(i),
+               std::make_unique<raft::RaftReplica>(model_, raft_config_));
 }
 
 bool RaftCluster::await_quiesce(Duration timeout) {

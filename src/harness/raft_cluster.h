@@ -28,6 +28,9 @@ class RaftCluster {
   const raft::RaftConfig& raft_config() const { return raft_config_; }
 
   void submit(int i, object::Operation op);
+  // Power-cycles crashed process i back up with a fresh RaftReplica over
+  // slot i's surviving StableStorage (term/vote/log replay in on_restart).
+  void restart(int i);
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
   bool await_quiesce(Duration timeout);
   int leader();  // index of the unique leader in the highest term, or -1

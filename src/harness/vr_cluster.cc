@@ -16,12 +16,21 @@ VrCluster::VrCluster(ClusterConfig config,
 
 void VrCluster::submit(int i, object::Operation op) {
   const auto token = history_.begin(ProcessId(i), op, sim_.now());
+  const bool is_read = model_->is_read(op);
   ++submitted_;
-  replica(i).submit(std::move(op),
-                    [this, token](const object::Response& response) {
-                      history_.end(token, response, sim_.now());
-                      ++completed_;
-                    });
+  const OperationId id =
+      replica(i).submit(std::move(op),
+                        [this, token](const object::Response& response) {
+                          history_.end(token, response, sim_.now());
+                          ++completed_;
+                        });
+  // Reads travel through the VR log too, but durability accounting only
+  // joins on writes; keep read ids off the history like the other stacks.
+  if (!is_read) history_.set_id(token, id);
+}
+
+void VrCluster::restart(int i) {
+  sim_.restart(ProcessId(i), std::make_unique<vr::VrReplica>(model_, vr_config_));
 }
 
 bool VrCluster::await_quiesce(Duration timeout) {

@@ -27,6 +27,9 @@ class VrCluster {
   const vr::VrConfig& vr_config() const { return vr_config_; }
 
   void submit(int i, object::Operation op);
+  // Power-cycles crashed process i back up with a fresh VrReplica; recovery
+  // runs VR Revisited's storage-free nonce protocol (vr.h, on_restart).
+  void restart(int i);
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
   bool await_quiesce(Duration timeout);
   int primary();  // index of the normal-status primary in the highest view

@@ -1,10 +1,39 @@
 #include "leader/enhanced_leader.h"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/storage.h"
 
 namespace cht::leader {
 
+namespace {
+constexpr const char* kCounterKey = "els.counter";
+}  // namespace
+
 void EnhancedLeaderService::start() { support_tick(); }
+
+void EnhancedLeaderService::persist_counter() {
+  host_.storage().write(kCounterKey, std::to_string(change_counter_));
+  // Durable before any grant carries this counter (sync_storage makes the
+  // write durable at the moment of the call; the latency only delays a
+  // continuation, and we pass none).
+  host_.sync_storage();
+}
+
+void EnhancedLeaderService::recover() {
+  if (const auto stored = host_.storage().read(kCounterKey)) {
+    change_counter_ = std::stoll(*stored);
+  }
+  // Every pre-crash grant ended at most support_duration after the local
+  // time of the crash, which is at most the local time now. Starting all new
+  // grants strictly after now + support_duration keeps this process's
+  // supports for distinct leaders disjoint across the restart.
+  min_grant_start_ =
+      host_.now_local() + config_.support_duration + Duration::micros(1);
+  last_grant_end_ = LocalTime::min();
+  support_tick();
+}
 
 void EnhancedLeaderService::support_tick() {
   const ProcessId current = leader_fn_();
@@ -17,6 +46,7 @@ void EnhancedLeaderService::support_tick() {
     // makes EL1 hold via majority intersection). Grants to the *same* leader
     // may freely overlap each other.
     ++change_counter_;
+    persist_counter();
     supported_ = current;
     if (last_grant_end_ != LocalTime::min()) {
       min_grant_start_ = last_grant_end_ + Duration::micros(1);

@@ -66,6 +66,15 @@ class EnhancedLeaderService {
 
   void start();
 
+  // Restores the granting-side invariants from stable storage after a crash
+  // and restart, then starts the service. The change counter is persisted
+  // (synced) before any grant uses it, so resuming from the stored value
+  // guarantees fresh counters; the first post-restart grant is additionally
+  // pushed past every interval the previous incarnation could have granted
+  // (crash-local-time + support_duration), keeping EL1's disjointness intact
+  // even though the old grant ends were lost with the crash.
+  void recover();
+
   // True iff this process has been the leader continuously at all local
   // times in [t1, t2] (as certified by a majority of supporters).
   bool am_leader(LocalTime t1, LocalTime t2);
@@ -87,6 +96,7 @@ class EnhancedLeaderService {
   using SupporterRecord = std::map<std::int64_t, std::vector<Interval>>;
 
   void support_tick();
+  void persist_counter();
   void record_support(ProcessId from, const SupportGrant& grant);
   void prune(SupporterRecord& record);
   static bool covers(const SupporterRecord& record, LocalTime t1, LocalTime t2);

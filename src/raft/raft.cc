@@ -1,30 +1,117 @@
 #include "raft/raft.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "sim/storage.h"
 
 namespace cht::raft {
 
 namespace {
 constexpr const char* kTag = "raft";
+
+// Stable-storage schema: keyed "term"/"vote" records plus one append-log
+// record per log entry (index i+1 lives at storage log position i).
+constexpr const char* kKeyTerm = "term";
+constexpr const char* kKeyVote = "vote";
+
+std::string encode_entry(const LogEntry& e) {
+  return sim::encode_fields({std::to_string(e.term),
+                             std::to_string(e.id.process.index()),
+                             std::to_string(e.id.seq), e.op.kind, e.op.arg});
 }
+
+LogEntry decode_entry(const std::string& record) {
+  const std::vector<std::string> fields = sim::decode_fields(record);
+  CHT_ASSERT(fields.size() == 5, "malformed raft log record");
+  return LogEntry{std::stoll(fields[0]),
+                  OperationId{ProcessId(std::stoi(fields[1])),
+                              std::stoll(fields[2])},
+                  object::Operation{fields[3], fields[4]}};
+}
+
+}  // namespace
 
 RaftReplica::RaftReplica(std::shared_ptr<const object::ObjectModel> model,
                          RaftConfig config)
     : model_(std::move(model)), config_(config) {
   span_election_ = metrics::Span(&metrics_.histogram("span.election_us"));
   h_readindex_round_ = &metrics_.histogram("span.readindex.round_us");
+  c_recoveries_ = &metrics_.counter("recoveries");
+  c_recovered_entries_ = &metrics_.counter("recovery_log_replayed");
+  span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
 }
 
 void RaftReplica::on_start() {
   state_ = model_->make_initial_state();
+  seed_op_sequence();
   next_index_.assign(cluster_size(), 1);
   match_index_.assign(cluster_size(), 0);
   probe_acked_.assign(cluster_size(), 0);
   last_ack_local_.assign(cluster_size(), LocalTime::min());
   reset_election_timer();
+}
+
+void RaftReplica::on_restart() {
+  span_recovery_.begin(now_local().to_micros());
+  c_recoveries_->inc();
+  state_ = model_->make_initial_state();
+  seed_op_sequence();
+  next_index_.assign(cluster_size(), 1);
+  match_index_.assign(cluster_size(), 0);
+  probe_acked_.assign(cluster_size(), 0);
+  last_ack_local_.assign(cluster_size(), LocalTime::min());
+  recover_from_storage();
+  reset_election_timer();
+}
+
+void RaftReplica::seed_op_sequence() {
+  // Fresh incarnations must never reuse an OperationId (entries are
+  // deduplicated by id); namespacing by incarnation avoids per-submit syncs.
+  op_seq_ = static_cast<std::int64_t>(incarnation()) << 40;
+}
+
+void RaftReplica::persist_hard_state() {
+  sim::StableStorage& st = storage();
+  st.write(kKeyTerm, std::to_string(term_));
+  if (voted_for_.has_value()) {
+    st.write(kKeyVote, std::to_string(*voted_for_));
+  } else {
+    st.erase(kKeyVote);
+  }
+}
+
+void RaftReplica::append_log_entry(const LogEntry& entry) {
+  log_.push_back(entry);
+  ids_in_log_.insert(entry.id);
+  storage().append(encode_entry(entry));
+}
+
+void RaftReplica::truncate_log_suffix(std::int64_t first_dropped) {
+  for (std::int64_t i = first_dropped; i <= last_log_index(); ++i) {
+    ids_in_log_.erase(log_.at(static_cast<std::size_t>(i - 1)).id);
+  }
+  log_.resize(static_cast<std::size_t>(first_dropped - 1));
+  storage().truncate_log(static_cast<std::size_t>(first_dropped - 1));
+}
+
+void RaftReplica::recover_from_storage() {
+  sim::StableStorage& st = storage();
+  if (const auto term = st.read(kKeyTerm)) term_ = std::stoll(*term);
+  if (const auto vote = st.read(kKeyVote)) voted_for_ = std::stoi(*vote);
+  for (const std::string& record : st.log()) {
+    const LogEntry entry = decode_entry(record);
+    log_.push_back(entry);
+    ids_in_log_.insert(entry.id);
+    c_recovered_entries_->inc();
+  }
+  // commit_index_/last_applied_ stay 0: they are volatile and re-learned
+  // from the next leader's AppendEntries (entries re-apply from scratch
+  // against the fresh state machine).
+  trace_event("recovery", "term=" + std::to_string(term_) +
+                              " log=" + std::to_string(log_.size()));
 }
 
 // ===========================================================================
@@ -49,6 +136,9 @@ void RaftReplica::start_election() {
   ++term_;
   voted_for_ = id().index();
   votes_ = {id().index()};
+  // The self-vote must be durable before anyone can learn of the candidacy.
+  persist_hard_state();
+  sync_storage();
   CHT_DEBUG(kTag) << id() << " starts election for term " << term_;
   broadcast(msg::kRequestVote,
             msg::RequestVote{term_, last_log_index(), term_at(last_log_index())});
@@ -61,6 +151,9 @@ void RaftReplica::become_follower(std::int64_t term) {
   if (term > term_) {
     term_ = term;
     voted_for_.reset();
+    // Written now, durable at the next sync (a granted vote or successful
+    // append); losing an unsynced term bump only re-learns the term.
+    persist_hard_state();
   }
   role_ = Role::kFollower;
   span_election_.cancel();
@@ -78,6 +171,7 @@ void RaftReplica::become_leader() {
   if (election_us >= 0 && tracing()) {
     trace_event("span.election", "us=" + std::to_string(election_us));
   }
+  span_recovery_.cancel();  // recovered straight into leading
   role_ = Role::kLeader;
   leader_hint_ = id();
   next_index_.assign(cluster_size(), last_log_index() + 1);
@@ -89,8 +183,10 @@ void RaftReplica::become_leader() {
   // can advance (only current-term entries commit by counting) and so
   // ReadIndex reads observe every previously committed entry.
   const OperationId noop_id{id(), ++op_seq_};
-  log_.push_back(LogEntry{term_, noop_id, object::no_op()});
-  ids_in_log_.insert(noop_id);
+  append_log_entry(LogEntry{term_, noop_id, object::no_op()});
+  // advance_commit counts this replica's own log toward the majority, so
+  // leader appends are synced before any AppendEntries advertises them.
+  sync_storage();
   heartbeat_tick();
 }
 
@@ -119,6 +215,10 @@ void RaftReplica::on_request_vote(ProcessId from,
     if (up_to_date) {
       granted = true;
       voted_for_ = from.index();
+      // The vote must survive a crash: a recovered replica that forgot it
+      // could vote twice in one term and elect two leaders.
+      persist_hard_state();
+      sync_storage();
       reset_election_timer();
     }
   }
@@ -177,6 +277,11 @@ void RaftReplica::on_append_entries(ProcessId from,
   if (role_ != Role::kFollower) become_follower(append.term);
   leader_hint_ = from;
   last_leader_contact_ = now_local();
+  // First leader contact after a restart closes the recovery span.
+  const std::int64_t recovery_us = span_recovery_.end(now_local().to_micros());
+  if (recovery_us >= 0 && tracing()) {
+    trace_event("span.recovery", "us=" + std::to_string(recovery_us));
+  }
   reset_election_timer();
 
   if (append.prev_index > last_log_index() ||
@@ -188,19 +293,21 @@ void RaftReplica::on_append_entries(ProcessId from,
   }
   // Append, truncating conflicting suffixes.
   std::int64_t index = append.prev_index;
+  bool log_changed = false;
   for (const LogEntry& entry : append.entries) {
     ++index;
     if (index <= last_log_index()) {
       if (term_at(index) == entry.term) continue;  // already have it
       // Conflict: drop our suffix from here on.
-      for (std::int64_t i = index; i <= last_log_index(); ++i) {
-        ids_in_log_.erase(log_.at(static_cast<std::size_t>(i - 1)).id);
-      }
-      log_.resize(static_cast<std::size_t>(index - 1));
+      truncate_log_suffix(index);
     }
-    log_.push_back(entry);
-    ids_in_log_.insert(entry.id);
+    append_log_entry(entry);
+    log_changed = true;
   }
+  // Durability before the success reply: the leader counts this replica's
+  // match_index toward commit on its strength. Heartbeats that changed
+  // nothing re-claim an already-durable prefix and need no sync.
+  if (log_changed) sync_storage();
   if (append.leader_commit > commit_index_) {
     commit_index_ = std::min(append.leader_commit, last_log_index());
     apply_committed();
@@ -273,7 +380,7 @@ void RaftReplica::apply_committed() {
 // Clients
 // ===========================================================================
 
-void RaftReplica::submit_rmw(object::Operation op, Callback callback) {
+OperationId RaftReplica::submit_rmw(object::Operation op, Callback callback) {
   CHT_ASSERT(!model_->is_read(op), "submit_rmw called with a read");
   ++stats_.rmws_submitted;
   const OperationId id{this->id(), ++op_seq_};
@@ -281,6 +388,7 @@ void RaftReplica::submit_rmw(object::Operation op, Callback callback) {
       id, PendingClientOp{std::move(op), std::move(callback), false,
                           sim::EventHandle()});
   client_send(id);
+  return id;
 }
 
 void RaftReplica::submit_read(object::Operation op, Callback callback) {
@@ -330,8 +438,8 @@ void RaftReplica::client_send(const OperationId& id) {
 void RaftReplica::on_client_rmw(ProcessId /*from*/, const msg::ClientRmw& rmw) {
   if (role_ != Role::kLeader) return;  // submitter retries
   if (ids_in_log_.contains(rmw.id)) return;  // duplicate retry
-  log_.push_back(LogEntry{term_, rmw.id, rmw.op});
-  ids_in_log_.insert(rmw.id);
+  append_log_entry(LogEntry{term_, rmw.id, rmw.op});
+  sync_storage();  // our own match counts toward the majority
   for (int i = 0; i < cluster_size(); ++i) {
     if (i != id().index()) send_append(ProcessId(i));
   }

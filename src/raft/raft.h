@@ -135,11 +135,18 @@ class RaftReplica : public sim::Process {
   RaftReplica(std::shared_ptr<const object::ObjectModel> model,
               RaftConfig config);
 
-  // Client API, mirroring core::Replica.
-  void submit_rmw(object::Operation op, Callback callback);
+  // Client API, mirroring core::Replica. submit_rmw returns the operation's
+  // id for harness-side durability accounting.
+  OperationId submit_rmw(object::Operation op, Callback callback);
   void submit_read(object::Operation op, Callback callback);
 
   void on_start() override;
+  // Crash recovery per the Raft paper's persistent-state rules: currentTerm,
+  // votedFor and the log are synced to StableStorage before any vote or
+  // successful AppendReply leaves this process (and before the leader counts
+  // its own log as replicated); a restarted replica replays them and rejoins
+  // as a follower.
+  void on_restart() override;
   void on_message(const sim::Message& message) override;
 
   struct Stats {
@@ -202,6 +209,13 @@ class RaftReplica : public sim::Process {
   void apply_committed();
 
   // --- Clients ---
+  // --- Crash recovery ---
+  void seed_op_sequence();
+  void persist_hard_state();  // currentTerm + votedFor keyed records
+  void append_log_entry(const LogEntry& entry);  // log_ + storage log
+  void truncate_log_suffix(std::int64_t first_dropped);
+  void recover_from_storage();
+
   void client_send(const OperationId& id);
   void on_client_rmw(ProcessId from, const msg::ClientRmw& rmw);
   void on_client_read(ProcessId from, const msg::ClientRead& read);
@@ -262,6 +276,9 @@ class RaftReplica : public sim::Process {
   metrics::Registry metrics_;
   metrics::Span span_election_;         // start_election -> term won
   metrics::Histogram* h_readindex_round_;  // read arrival -> answered
+  metrics::Counter* c_recoveries_;
+  metrics::Counter* c_recovered_entries_;
+  metrics::Span span_recovery_;         // restart -> first live-protocol sign
 };
 
 }  // namespace cht::raft

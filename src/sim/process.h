@@ -25,6 +25,7 @@
 namespace cht::sim {
 
 class Simulation;
+class StableStorage;
 
 class Process {
  public:
@@ -38,6 +39,11 @@ class Process {
   virtual void on_start() {}
   virtual void on_message(const Message& message) = 0;
   virtual void on_crash() {}
+  // Called instead of on_start() when this incarnation replaces a crashed
+  // one (Simulation::restart). Recovery-aware processes override this to
+  // replay their StableStorage before rejoining; the default treats a
+  // restart like a cold start.
+  virtual void on_restart() { on_start(); }
 
   // --- Services (valid after attachment to a Simulation) ------------------
   RealTime now_real() const;
@@ -57,6 +63,23 @@ class Process {
 
   // The simulation's deterministic random stream (for randomized timeouts).
   Rng& rng() const;
+
+  // This process's stable storage. Survives crashes and restarts (minus
+  // whatever unsynced writes the crash lost); the only storage protocol
+  // code may use — detlint rule D7 forbids direct file I/O in protocol dirs.
+  StableStorage& storage() const;
+
+  // How many restarts this process slot has been through (0 before any).
+  // Useful for namespacing identifiers so they never collide across
+  // incarnations without per-use fsyncs.
+  int incarnation() const;
+
+  // Syncs this process's stable storage, then runs `fn`. With the default
+  // zero sync latency the continuation runs inline (no event scheduled);
+  // with nonzero configured latency it runs after that delay on the
+  // simulation timeline. Either way the written data is durable from the
+  // moment of the call.
+  void sync_storage(std::function<void()> fn = {});
 
   // Records a protocol-level trace event (no-op unless tracing is enabled).
   void trace_event(std::string category, std::string detail = "") const;

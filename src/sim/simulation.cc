@@ -20,6 +20,12 @@ ProcessId Simulation::add_process(std::unique_ptr<Process> process) {
   const Duration offset =
       half == 0 ? Duration::zero() : Duration::micros(rng_.next_in(-half, half));
   clocks_.emplace_back(offset);
+  // Storage seeds derive from (sim seed, index) inside StableStorage — no
+  // draw from rng_, so pre-storage seeds keep their exact event streams.
+  storages_.push_back(std::make_unique<StableStorage>(config_.seed, id.index(),
+                                                      config_.storage));
+  last_crash_.emplace_back();
+  incarnations_.push_back(0);
   return id;
 }
 
@@ -53,8 +59,32 @@ void Simulation::crash(ProcessId p) {
   Process& proc = process(p);
   if (proc.crashed()) return;
   trace_.record(now(), p, "crash", "");
+  last_crash_.at(p.index()) = now();
   proc.mark_crashed();
   proc.on_crash();
+  // The crash is abrupt: whatever the process wrote but never synced is now
+  // subject to seed-deterministic loss/tearing (private storage Rng — no
+  // perturbation of the global stream).
+  storages_.at(p.index())->lose_unsynced_writes();
+}
+
+void Simulation::restart(ProcessId p, std::unique_ptr<Process> fresh) {
+  CHT_ASSERT(started_, "restart() before start()");
+  CHT_ASSERT(fresh != nullptr, "restart() needs a fresh incarnation");
+  Process& old = process(p);
+  CHT_ASSERT(old.crashed(), "restart() requires a crashed process");
+  trace_.record(now(), p, "restart", "");
+  ++incarnations_.at(p.index());
+  graveyard_.push_back(std::move(processes_[p.index()]));
+  fresh->attach(this, p, n());
+  processes_[p.index()] = std::move(fresh);
+  processes_[p.index()]->on_restart();
+}
+
+bool Simulation::crashed_at_or_after(ProcessId p, RealTime t) const {
+  if (processes_.at(p.index())->crashed()) return true;
+  const auto& last = last_crash_.at(p.index());
+  return last.has_value() && *last >= t;
 }
 
 void Simulation::set_clock_offset(ProcessId p, Duration offset) {
@@ -101,6 +131,28 @@ void Process::broadcast(const std::string& type, const std::any& payload) {
 Rng& Process::rng() const {
   CHT_ASSERT(sim_ != nullptr, "process not attached");
   return sim_->rng();
+}
+
+StableStorage& Process::storage() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->storage(id_);
+}
+
+int Process::incarnation() const {
+  CHT_ASSERT(sim_ != nullptr, "process not attached");
+  return sim_->incarnation(id_);
+}
+
+void Process::sync_storage(std::function<void()> fn) {
+  StableStorage& st = storage();
+  st.sync();
+  const Duration latency = st.config().sync_latency;
+  if (!fn) return;
+  if (latency == Duration::zero()) {
+    fn();
+  } else {
+    schedule_after(latency, std::move(fn));
+  }
 }
 
 void Process::trace_event(std::string category, std::string detail) const {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/assert.h"
@@ -21,6 +22,7 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/process.h"
+#include "sim/storage.h"
 #include "sim/trace.h"
 
 namespace cht::sim {
@@ -31,6 +33,9 @@ struct SimulationConfig {
   // Clocks are synchronized within epsilon of each other: each process's
   // offset is drawn uniformly from [-epsilon/2, +epsilon/2].
   Duration epsilon = Duration::millis(1);
+  // Per-process stable storage behaviour (sync latency, crash-time loss of
+  // unsynced writes).
+  StorageConfig storage;
 };
 
 class Simulation {
@@ -65,6 +70,22 @@ class Simulation {
   void crash(ProcessId p);
   void set_clock_offset(ProcessId p, Duration offset);
 
+  // Replaces a crashed process with a fresh incarnation sharing its id and
+  // stable storage, then calls on_restart() on it. The old incarnation is
+  // parked (not destroyed) so its still-queued timers fire as harmless
+  // no-ops against a permanently-crashed object.
+  void restart(ProcessId p, std::unique_ptr<Process> fresh);
+
+  // True iff p is currently crashed OR crashed at any point at or after t
+  // (even if since restarted). Used by liveness checking: an operation in
+  // flight across a crash may legitimately never complete.
+  bool crashed_at_or_after(ProcessId p, RealTime t) const;
+
+  // Number of restarts slot p has been through (0 for the original
+  // incarnation). Recovery code namespaces identifiers by this so a fresh
+  // incarnation never reuses an OperationId without a per-op fsync.
+  int incarnation(ProcessId p) const { return incarnations_.at(p.index()); }
+
   // --- Access -------------------------------------------------------------
   int n() const { return static_cast<int>(processes_.size()); }
   Process& process(ProcessId p) { return *processes_.at(p.index()); }
@@ -77,6 +98,7 @@ class Simulation {
   Network& network() { return network_; }
   EventQueue& queue() { return queue_; }
   Clock& clock(ProcessId p) { return clocks_.at(p.index()); }
+  StableStorage& storage(ProcessId p) { return *storages_.at(p.index()); }
   Rng& rng() { return rng_; }
   Trace& trace() { return trace_; }
   const SimulationConfig& config() const { return config_; }
@@ -91,6 +113,13 @@ class Simulation {
   Network network_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Clock> clocks_;
+  // One storage per process slot; outlives process incarnations.
+  std::vector<std::unique_ptr<StableStorage>> storages_;
+  std::vector<std::optional<RealTime>> last_crash_;
+  std::vector<int> incarnations_;
+  // Replaced incarnations. Their queued timers capture raw Process*, so
+  // they must stay alive (permanently crashed) until the simulation dies.
+  std::vector<std::unique_ptr<Process>> graveyard_;
   Trace trace_;
   bool started_ = false;
 };

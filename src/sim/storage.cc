@@ -1,0 +1,131 @@
+#include "sim/storage.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace cht::sim {
+namespace {
+
+// splitmix64 — derives the storage's private seed from (sim seed, process
+// index) without touching the simulation's global Rng stream.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kStorageStream = 0x73746f7261676531ULL;  // "storage1"
+
+}  // namespace
+
+StableStorage::StableStorage(std::uint64_t sim_seed, int process_index,
+                             StorageConfig config)
+    : config_(config),
+      rng_(mix(mix(sim_seed ^ kStorageStream) +
+               static_cast<std::uint64_t>(process_index))) {}
+
+void StableStorage::write(const std::string& key, const std::string& value) {
+  auto it = records_.find(key);
+  if (!dirty_keys_.count(key)) {
+    dirty_keys_[key] = it == records_.end()
+                           ? std::optional<std::string>{}
+                           : std::optional<std::string>{it->second};
+  }
+  records_[key] = value;
+}
+
+void StableStorage::erase(const std::string& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return;
+  if (!dirty_keys_.count(key)) dirty_keys_[key] = it->second;
+  records_.erase(it);
+}
+
+std::optional<std::string> StableStorage::read(const std::string& key) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> StableStorage::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = records_.lower_bound(prefix); it != records_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+void StableStorage::append(const std::string& record) {
+  log_.push_back(record);
+}
+
+void StableStorage::truncate_log(std::size_t new_size) {
+  CHT_ASSERT(new_size <= log_.size(), "truncate_log cannot grow the log");
+  log_.resize(new_size);
+  if (new_size < durable_log_size_) {
+    durable_log_size_ = new_size;
+    log_truncated_below_durable_ = true;
+  }
+}
+
+void StableStorage::sync() {
+  ++fsyncs_;
+  dirty_keys_.clear();
+  durable_log_size_ = log_.size();
+  log_truncated_below_durable_ = false;
+}
+
+void StableStorage::lose_unsynced_writes() {
+  // Keyed records: each unsynced write lost independently.
+  for (const auto& [key, durable] : dirty_keys_) {
+    if (!rng_.next_bool(config_.unsynced_key_loss)) continue;
+    if (durable) {
+      records_[key] = *durable;
+    } else {
+      records_.erase(key);
+    }
+  }
+  dirty_keys_.clear();
+  // Append log: the unsynced suffix is cut at a uniform point. cut ==
+  // log_.size() models writes that reached the platter despite the missing
+  // fsync; any smaller cut tears the record at the cut (discarded by the
+  // recovery checksum along with everything after it).
+  if (log_.size() > durable_log_size_) {
+    const auto cut = static_cast<std::size_t>(rng_.next_in(
+        static_cast<std::int64_t>(durable_log_size_),
+        static_cast<std::int64_t>(log_.size())));
+    log_.resize(cut);
+  }
+  durable_log_size_ = log_.size();
+  log_truncated_below_durable_ = false;
+}
+
+std::string encode_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (const auto& f : fields) {
+    out += std::to_string(f.size());
+    out += ':';
+    out += f;
+  }
+  return out;
+}
+
+std::vector<std::string> decode_fields(const std::string& record) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos < record.size()) {
+    const std::size_t colon = record.find(':', pos);
+    CHT_ASSERT(colon != std::string::npos, "malformed storage record");
+    const std::size_t len = std::stoull(record.substr(pos, colon - pos));
+    CHT_ASSERT(colon + 1 + len <= record.size(), "malformed storage record");
+    fields.push_back(record.substr(colon + 1, len));
+    pos = colon + 1 + len;
+  }
+  return fields;
+}
+
+}  // namespace cht::sim

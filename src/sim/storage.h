@@ -1,0 +1,101 @@
+// Simulated per-process stable storage with explicit fsync semantics.
+//
+// The paper assumes crash-stop processes; our crash-recovery extension gives
+// every process a StableStorage holding (a) keyed records and (b) an append
+// log. Writes are buffered (the "OS page cache") until sync() makes them
+// durable. When the owning process crashes, the simulation calls
+// lose_unsynced_writes(): each unsynced keyed write is lost independently and
+// the unsynced log suffix is cut at a seed-drawn point (the record at the cut
+// is "torn" — partially written, discarded by the checksum on recovery —
+// together with everything after it). What survives is exactly what the next
+// incarnation of the process observes after Simulation::restart.
+//
+// Determinism: each storage owns a private Rng derived from the simulation
+// seed and the process index. It never draws from the simulation's global
+// stream, so adding storage (or crashing with unsynced writes) perturbs no
+// existing seed's event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cht::sim {
+
+struct StorageConfig {
+  // Simulated fsync cost. Zero (the default) models an instantaneous sync:
+  // sync() is a plain synchronous call and Process::sync_storage runs its
+  // continuation inline, scheduling no event. Nonzero latency delays the
+  // continuation on the simulation timeline.
+  Duration sync_latency = Duration::zero();
+  // Each keyed write that was never synced is lost independently with this
+  // probability when the process crashes (reverting the key to its last
+  // durable value).
+  double unsynced_key_loss = 0.5;
+};
+
+class StableStorage {
+ public:
+  StableStorage(std::uint64_t sim_seed, int process_index,
+                StorageConfig config);
+
+  // --- Keyed records ------------------------------------------------------
+  // Current view (read-your-writes: a process sees its own unsynced writes).
+  void write(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+  std::optional<std::string> read(const std::string& key) const;
+  // All current keys with the given prefix, in order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  // --- Append log ---------------------------------------------------------
+  void append(const std::string& record);
+  // Rewinds the log to new_size records (conflict rewrite, e.g. Raft log
+  // truncation). May cut below the durable prefix; the truncation itself
+  // becomes durable at the next sync().
+  void truncate_log(std::size_t new_size);
+  const std::vector<std::string>& log() const { return log_; }
+  std::size_t log_size() const { return log_.size(); }
+
+  // --- Durability ---------------------------------------------------------
+  // Makes everything written so far durable.
+  void sync();
+  bool dirty() const { return !dirty_keys_.empty() || log_dirty(); }
+  std::int64_t fsyncs() const { return fsyncs_; }
+  const StorageConfig& config() const { return config_; }
+
+  // Called by the simulation when the owning process crashes. Applies the
+  // seed-deterministic loss/tearing of unsynced writes described above.
+  void lose_unsynced_writes();
+
+ private:
+  bool log_dirty() const {
+    return log_.size() != durable_log_size_ || log_truncated_below_durable_;
+  }
+
+  StorageConfig config_;
+  Rng rng_;
+  // Current keyed view. Durable state is reconstructed at crash time from
+  // dirty_keys_, which remembers each dirty key's last durable value
+  // (nullopt = key absent durably).
+  std::map<std::string, std::string> records_;
+  std::map<std::string, std::optional<std::string>> dirty_keys_;
+  std::vector<std::string> log_;
+  std::size_t durable_log_size_ = 0;
+  bool log_truncated_below_durable_ = false;
+  std::int64_t fsyncs_ = 0;
+};
+
+// --- Record codec ----------------------------------------------------------
+// Length-prefixed field packing ("<len>:<bytes>" per field, concatenated) so
+// protocols can serialize structured records without inventing ad-hoc escape
+// schemes. decode_fields asserts on malformed input (storage never corrupts
+// within a record; torn records are dropped whole).
+std::string encode_fields(const std::vector<std::string>& fields);
+std::vector<std::string> decode_fields(const std::string& record);
+
+}  // namespace cht::sim

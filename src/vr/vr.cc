@@ -16,6 +16,9 @@ VrReplica::VrReplica(std::shared_ptr<const object::ObjectModel> model,
     : model_(std::move(model)), config_(config) {
   span_viewchange_ =
       metrics::Span(&metrics_.histogram("span.viewchange_us"));
+  c_recoveries_ = &metrics_.counter("recoveries");
+  c_recovered_entries_ = &metrics_.counter("recovery_log_replayed");
+  span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
 }
 
 void VrReplica::end_viewchange_span() {
@@ -27,6 +30,7 @@ void VrReplica::end_viewchange_span() {
 
 void VrReplica::on_start() {
   state_ = model_->make_initial_state();
+  seed_op_sequence();
   acked_op_.assign(cluster_size(), 0);
   if (is_primary()) {
     ++stats_.views_led;
@@ -34,6 +38,97 @@ void VrReplica::on_start() {
   } else {
     reset_view_timer();
   }
+}
+
+void VrReplica::on_restart() {
+  span_recovery_.begin(now_local().to_micros());
+  c_recoveries_->inc();
+  state_ = model_->make_initial_state();
+  seed_op_sequence();
+  acked_op_.assign(cluster_size(), 0);
+  status_ = Status::kRecovering;
+  // The nonce distinguishes this recovery attempt from any earlier one; a
+  // stale response cannot satisfy it. Drawn from the shared simulation
+  // stream — safe, since restarts only exist on schedules that draw it.
+  recovery_nonce_ = rng().next_u64();
+  recovery_tick();
+}
+
+void VrReplica::seed_op_sequence() {
+  // Fresh incarnations must never reuse an OperationId (requests are
+  // deduplicated by id); namespacing by incarnation avoids collisions
+  // without any stable storage — fitting, as VR keeps none.
+  op_seq_ = static_cast<std::int64_t>(incarnation()) << 40;
+}
+
+void VrReplica::recovery_tick() {
+  if (status_ != Status::kRecovering) return;
+  broadcast(msg::kRecovery, msg::Recovery{recovery_nonce_});
+  recovery_timer_ =
+      schedule_after(config_.view_change_timeout, [this] { recovery_tick(); });
+}
+
+void VrReplica::on_recovery(ProcessId from, const msg::Recovery& m) {
+  // Only normal-status replicas may answer (sec. 4.3): a view-changing or
+  // recovering replica's view count could go backwards.
+  if (status_ != Status::kNormal) return;
+  msg::RecoveryResponse response{m.nonce, view_, false, {}, 0, 0};
+  if (is_primary()) {
+    response.is_primary = true;
+    response.log = log_;
+    response.op_number = op_number();
+    response.commit_number = commit_number_;
+  }
+  send(from, msg::kRecoveryResponse, response);
+}
+
+void VrReplica::on_recovery_response(ProcessId from,
+                                     const msg::RecoveryResponse& m) {
+  if (status_ != Status::kRecovering || m.nonce != recovery_nonce_) return;
+  recovery_responses_[from.index()] = m;
+  maybe_finish_recovery();
+}
+
+void VrReplica::maybe_finish_recovery() {
+  if (static_cast<int>(recovery_responses_.size()) < majority()) return;
+  // Among the responses, find the newest view and require the response of
+  // that view's primary (with its log). Without it we keep waiting: either
+  // the primary's response is still in flight, or the view has moved on and
+  // retries will collect responses for the newer view.
+  std::int64_t max_view = 0;
+  for (const auto& [sender, response] : recovery_responses_) {
+    max_view = std::max(max_view, response.view);
+  }
+  const ProcessId primary = primary_of(max_view);
+  auto it = recovery_responses_.find(primary.index());
+  if (it == recovery_responses_.end() || it->second.view != max_view ||
+      !it->second.is_primary) {
+    return;
+  }
+  const msg::RecoveryResponse& from_primary = it->second;
+  view_ = max_view;
+  log_ = from_primary.log;
+  ids_in_log_.clear();
+  for (const auto& entry : log_) ids_in_log_.insert(entry.id);
+  commit_number_ = 0;
+  applied_ = 0;
+  advance_commit(from_primary.commit_number);
+  c_recovered_entries_->inc(static_cast<std::int64_t>(log_.size()));
+  status_ = Status::kNormal;
+  last_normal_view_ = view_;
+  recovery_timer_.cancel();
+  recovery_responses_.clear();
+  const std::int64_t us = span_recovery_.end(now_local().to_micros());
+  if (us >= 0 && tracing()) {
+    trace_event("span.recovery", "us=" + std::to_string(us));
+  }
+  trace_event("recovery", "view=" + std::to_string(view_) +
+                              " log=" + std::to_string(log_.size()));
+  // Ack our adopted prefix to the primary and fall back into the follower
+  // rhythm (the recovered replica is never the primary of max_view: a view
+  // whose primary crashed moves on before its primary can be told about it).
+  send(primary, msg::kPrepareOk, msg::PrepareOk{view_, op_number()});
+  reset_view_timer();
 }
 
 // ===========================================================================
@@ -345,13 +440,14 @@ void VrReplica::truncate_uncommitted_tail() {
 // Clients
 // ===========================================================================
 
-void VrReplica::submit(object::Operation op, Callback callback) {
+OperationId VrReplica::submit(object::Operation op, Callback callback) {
   ++stats_.ops_submitted;
   const OperationId id{this->id(), ++op_seq_};
   pending_ops_.try_emplace(
       id, PendingClientOp{std::move(op), std::move(callback),
                           sim::EventHandle()});
   client_send(id);
+  return id;
 }
 
 void VrReplica::client_send(const OperationId& id) {
@@ -375,6 +471,17 @@ void VrReplica::client_send(const OperationId& id) {
 // ===========================================================================
 
 void VrReplica::on_message(const sim::Message& message) {
+  if (message.is(msg::kRecovery)) {
+    on_recovery(message.from, message.as<msg::Recovery>());
+    return;
+  }
+  if (message.is(msg::kRecoveryResponse)) {
+    on_recovery_response(message.from, message.as<msg::RecoveryResponse>());
+    return;
+  }
+  // A recovering replica takes no other protocol steps (sec. 4.3): its state
+  // is unknown even to itself until the recovery quorum answers.
+  if (status_ == Status::kRecovering) return;
   if (message.is(msg::kRequest)) {
     on_request(message.from, message.as<msg::Request>());
   } else if (message.is(msg::kPrepare)) {

@@ -65,6 +65,8 @@ inline constexpr const char* kDoViewChange = "vr.doviewchange";
 inline constexpr const char* kStartView = "vr.startview";
 inline constexpr const char* kGetState = "vr.getstate";
 inline constexpr const char* kNewState = "vr.newstate";
+inline constexpr const char* kRecovery = "vr.recovery";
+inline constexpr const char* kRecoveryResponse = "vr.recoveryresponse";
 
 struct Request {
   OperationId id;
@@ -119,19 +121,44 @@ struct NewState {
   std::int64_t commit_number = 0;
 };
 
+// VR Revisited sec. 4.3 recovery protocol: VR keeps no stable storage at
+// all; a restarted replica re-learns its state from a quorum, with a nonce
+// tying responses to this particular recovery attempt (a response to an
+// earlier, pre-crash attempt must not be mistaken for a current one).
+struct Recovery {
+  std::uint64_t nonce = 0;
+};
+
+struct RecoveryResponse {
+  std::uint64_t nonce = 0;
+  std::int64_t view = 0;
+  // Only the primary of `view` ships its log (and the fields below are only
+  // meaningful with it); follower responses just certify the view count.
+  bool is_primary = false;
+  std::vector<VrLogEntry> log;
+  std::int64_t op_number = 0;
+  std::int64_t commit_number = 0;
+};
+
 }  // namespace msg
 
 class VrReplica : public sim::Process {
  public:
   using Callback = std::function<void(const object::Response&)>;
-  enum class Status { kNormal, kViewChange };
+  enum class Status { kNormal, kViewChange, kRecovering };
 
   VrReplica(std::shared_ptr<const object::ObjectModel> model, VrConfig config);
 
-  // Client API: VR treats reads and RMWs identically.
-  void submit(object::Operation op, Callback callback);
+  // Client API: VR treats reads and RMWs identically. Returns the
+  // operation's id for harness-side durability accounting.
+  OperationId submit(object::Operation op, Callback callback);
 
   void on_start() override;
+  // VR Revisited sec. 4.3: rejoin via the nonce-based recovery protocol —
+  // broadcast Recovery, wait for a majority of RecoveryResponses including
+  // one from the primary of the newest view seen, adopt its log. No stable
+  // storage involved; the replica takes no protocol steps while recovering.
+  void on_restart() override;
   void on_message(const sim::Message& message) override;
 
   struct Stats {
@@ -197,6 +224,13 @@ class VrReplica : public sim::Process {
   void on_new_state(const msg::NewState& m);
   void truncate_uncommitted_tail();
 
+  // Crash recovery (sec. 4.3).
+  void seed_op_sequence();
+  void recovery_tick();
+  void on_recovery(ProcessId from, const msg::Recovery& m);
+  void on_recovery_response(ProcessId from, const msg::RecoveryResponse& m);
+  void maybe_finish_recovery();
+
   // Clients. A submitting process completes its own operation when it
   // applies the corresponding log entry (clients are colocated with
   // replicas, as in the other protocols here).
@@ -225,6 +259,11 @@ class VrReplica : public sim::Process {
   bool dvc_sent_ = false;                         // one DoViewChange per view
   sim::EventHandle view_timer_;
 
+  // Recovery state (sec. 4.3).
+  std::uint64_t recovery_nonce_ = 0;
+  std::map<int, msg::RecoveryResponse> recovery_responses_;  // by sender
+  sim::EventHandle recovery_timer_;
+
   // Client state.
   std::int64_t op_seq_ = 0;
   std::map<OperationId, PendingClientOp> pending_ops_;
@@ -234,6 +273,9 @@ class VrReplica : public sim::Process {
   // Observability (write-only from protocol code).
   metrics::Registry metrics_;
   metrics::Span span_viewchange_;  // first StartViewChange -> normal status
+  metrics::Counter* c_recoveries_;
+  metrics::Counter* c_recovered_entries_;
+  metrics::Span span_recovery_;    // restart -> recovery protocol finished
 };
 
 }  // namespace cht::vr

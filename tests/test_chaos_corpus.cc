@@ -50,6 +50,21 @@ const std::vector<CorpusEntry>& corpus() {
       {"chtread", "rolling-partitions", "queue", 17, "high-churn coverage"},
       {"raft", "leader-hunter", "counter", 11, "high-churn coverage"},
       {"raft", "rolling-partitions", "lock", 29, "high-churn coverage"},
+      // Exposed the recovering-counts-as-down bug: the nemesis crash budget
+      // counted only crashed processes, so rolling bounces pushed a majority
+      // of VR replicas into the recovering state simultaneously — a
+      // permanent deadlock under VR Revisited sec. 4.3's failure assumption
+      // (recovery needs a majority of *normal* replicas to answer). Fixed by
+      // ClusterAdapter::recovering() + Nemesis::down_now().
+      {"vr", "power-cycle", "kv", 4, "vr recovering-counts-as-down deadlock"},
+      // Restart-heavy coverage for the storage-replay recovery paths: every
+      // stack through the power-cycle profile, exercising unsynced-write
+      // loss, log tearing and the durability invariant on each run.
+      {"chtread", "power-cycle", "kv", 3, "power-cycle recovery coverage"},
+      {"raft", "power-cycle", "bank", 5, "power-cycle recovery coverage"},
+      {"raft-lease", "power-cycle", "counter", 9,
+       "power-cycle recovery coverage"},
+      {"vr", "power-cycle", "queue", 12, "power-cycle recovery coverage"},
   };
   return entries;
 }

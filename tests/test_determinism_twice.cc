@@ -47,6 +47,13 @@ class MetricsProbe final : public chaos::ClusterAdapter {
     inner_->submit(process, std::move(op));
   }
   bool crashed(int process) const override { return inner_->crashed(process); }
+  void restart(int process) override { inner_->restart(process); }
+  bool recovering(int process) const override {
+    return inner_->recovering(process);
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    return inner_->committed_op_ids();
+  }
   int leader() override { return inner_->leader(); }
   bool await_quiesce(Duration timeout) override {
     return inner_->await_quiesce(timeout);
@@ -117,6 +124,7 @@ TEST_P(DeterminismTwiceTest, SecondRunIsByteIdentical) {
   EXPECT_EQ(first.result.completed, second.result.completed);
   EXPECT_EQ(first.result.leadership_changes, second.result.leadership_changes);
   EXPECT_EQ(first.result.crashes, second.result.crashes);
+  EXPECT_EQ(first.result.restarts, second.result.restarts);
   EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
   EXPECT_EQ(first.result.trace_tail, second.result.trace_tail);
   EXPECT_EQ(first.result.history, second.result.history);
@@ -127,6 +135,38 @@ TEST_P(DeterminismTwiceTest, SecondRunIsByteIdentical) {
   // Sanity: the runs did something worth comparing.
   EXPECT_GT(first.result.completed, 0u);
   EXPECT_FALSE(first.artifact_bytes.empty());
+}
+
+// Restart-heavy determinism: the power-cycle profile exercises the entire
+// crash-recovery machinery (StableStorage loss draws, Simulation::restart,
+// recovery protocols, the durability invariant) and must be exactly as
+// reproducible as the crash-stop profiles. Catches any RNG draw, container
+// ordering or time read sneaking into the recovery paths.
+TEST_P(DeterminismTwiceTest, RestartHeavyRunIsByteIdentical) {
+  chaos::RunSpec spec;
+  spec.protocol = GetParam();
+  spec.profile = "power-cycle";
+  spec.object = "kv";
+  spec.seed = 7;
+  spec.ops = 40;
+
+  const CapturedRun first = run_captured(spec);
+  const CapturedRun second = run_captured(spec);
+
+  EXPECT_EQ(first.result.fingerprint, second.result.fingerprint);
+  EXPECT_EQ(first.result.violations, second.result.violations);
+  EXPECT_EQ(first.result.crashes, second.result.crashes);
+  EXPECT_EQ(first.result.restarts, second.result.restarts);
+  EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
+  EXPECT_EQ(first.result.history, second.result.history);
+  EXPECT_EQ(first.artifact_bytes, second.artifact_bytes)
+      << "power-cycle repro artifact not byte-identical";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "power-cycle metrics not byte-identical";
+  EXPECT_GT(first.result.completed, 0u);
+  // The profile is only doing its job if processes actually went down and
+  // came back (the end-of-run revival alone requires a prior bounce).
+  EXPECT_GT(first.result.restarts, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStacks, DeterminismTwiceTest,

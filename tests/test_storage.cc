@@ -1,0 +1,176 @@
+// StableStorage unit tests: the write/sync/crash semantics every recovery
+// path builds on. The crash-time behaviour (lose_unsynced_writes) is the
+// subtle part — each unsynced keyed write is lost independently, the
+// unsynced log suffix is cut at a seed-drawn point — so these tests pin
+// both the boundary cases (loss probability 0 and 1, cut at the durable
+// prefix) and the determinism contract (same seed => same losses).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/storage.h"
+
+namespace cht::sim {
+namespace {
+
+StableStorage make(std::uint64_t seed = 1, int index = 0,
+                   double key_loss = 0.5) {
+  StorageConfig config;
+  config.unsynced_key_loss = key_loss;
+  return StableStorage(seed, index, config);
+}
+
+TEST(StorageTest, ReadYourWritesBeforeSync) {
+  StableStorage s = make();
+  EXPECT_FALSE(s.read("a").has_value());
+  s.write("a", "1");
+  EXPECT_EQ(s.read("a"), std::optional<std::string>("1"));
+  s.write("a", "2");
+  EXPECT_EQ(s.read("a"), std::optional<std::string>("2"));
+  s.erase("a");
+  EXPECT_FALSE(s.read("a").has_value());
+}
+
+TEST(StorageTest, KeysWithPrefixAreSortedAndScoped) {
+  StableStorage s = make();
+  s.write("log/2", "b");
+  s.write("log/1", "a");
+  s.write("meta", "m");
+  s.write("log/10", "c");
+  const std::vector<std::string> expected = {"log/1", "log/10", "log/2"};
+  EXPECT_EQ(s.keys_with_prefix("log/"), expected);
+  EXPECT_TRUE(s.keys_with_prefix("zzz").empty());
+}
+
+TEST(StorageTest, SyncedWritesSurviveCrash) {
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/1.0);
+  s.write("term", "3");
+  s.append("entry0");
+  s.append("entry1");
+  s.sync();
+  EXPECT_FALSE(s.dirty());
+  s.lose_unsynced_writes();  // crash with nothing unsynced
+  EXPECT_EQ(s.read("term"), std::optional<std::string>("3"));
+  ASSERT_EQ(s.log_size(), 2u);
+  EXPECT_EQ(s.log()[0], "entry0");
+  EXPECT_EQ(s.log()[1], "entry1");
+}
+
+TEST(StorageTest, CrashBetweenWriteAndSyncCanLoseTheWrite) {
+  // key_loss = 1.0: every unsynced keyed write reverts to its last durable
+  // value at the crash — the canonical "crashed between write and fsync".
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/1.0);
+  s.write("vote", "p2");
+  s.sync();
+  s.write("vote", "p4");   // overwrites durable value, never synced
+  s.write("fresh", "new");  // never durable at all
+  EXPECT_TRUE(s.dirty());
+  s.lose_unsynced_writes();
+  EXPECT_EQ(s.read("vote"), std::optional<std::string>("p2"));
+  EXPECT_FALSE(s.read("fresh").has_value());
+  EXPECT_FALSE(s.dirty());
+}
+
+TEST(StorageTest, ZeroLossProbabilityKeepsUnsyncedKeys) {
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/0.0);
+  s.write("a", "1");
+  s.lose_unsynced_writes();
+  EXPECT_EQ(s.read("a"), std::optional<std::string>("1"));
+}
+
+TEST(StorageTest, UnsyncedEraseCanResurrectTheDurableValue) {
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/1.0);
+  s.write("a", "durable");
+  s.sync();
+  s.erase("a");
+  EXPECT_FALSE(s.read("a").has_value());
+  s.lose_unsynced_writes();  // the erase itself was the unsynced write
+  EXPECT_EQ(s.read("a"), std::optional<std::string>("durable"));
+}
+
+TEST(StorageTest, UnsyncedLogSuffixIsTornAtOrAboveDurablePrefix) {
+  StableStorage s = make();
+  s.append("d0");
+  s.append("d1");
+  s.sync();
+  s.append("u2");
+  s.append("u3");
+  s.append("u4");
+  s.lose_unsynced_writes();
+  // The durable prefix always survives; the cut lands somewhere in the
+  // unsynced suffix (possibly keeping all of it, possibly tearing at d1).
+  ASSERT_GE(s.log_size(), 2u);
+  ASSERT_LE(s.log_size(), 5u);
+  EXPECT_EQ(s.log()[0], "d0");
+  EXPECT_EQ(s.log()[1], "d1");
+}
+
+TEST(StorageTest, EmptyStorageCrashIsANoOp) {
+  StableStorage s = make();
+  s.lose_unsynced_writes();
+  EXPECT_EQ(s.log_size(), 0u);
+  EXPECT_FALSE(s.dirty());
+  EXPECT_TRUE(s.keys_with_prefix("").empty());
+}
+
+TEST(StorageTest, TruncateBelowDurableIsDirtyUntilSynced) {
+  StableStorage s = make();
+  s.append("e0");
+  s.append("e1");
+  s.append("e2");
+  s.sync();
+  s.truncate_log(1);  // conflict rewrite below the durable prefix
+  EXPECT_TRUE(s.dirty());
+  s.sync();
+  EXPECT_FALSE(s.dirty());
+  s.lose_unsynced_writes();
+  ASSERT_EQ(s.log_size(), 1u);
+  EXPECT_EQ(s.log()[0], "e0");
+}
+
+TEST(StorageTest, CrashLossIsDeterministicPerSeedAndProcess) {
+  auto scenario = [](StableStorage& s) {
+    for (int i = 0; i < 8; ++i) {
+      s.write("k" + std::to_string(i), "v");
+      s.append("r" + std::to_string(i));
+    }
+    s.lose_unsynced_writes();
+  };
+  StableStorage a = make(/*seed=*/7, /*index=*/2);
+  StableStorage b = make(/*seed=*/7, /*index=*/2);
+  scenario(a);
+  scenario(b);
+  EXPECT_EQ(a.log(), b.log());
+  EXPECT_EQ(a.keys_with_prefix(""), b.keys_with_prefix(""));
+  // A different process index draws a different loss pattern from the same
+  // sim seed (storage streams are per-slot, not shared).
+  StableStorage c = make(/*seed=*/7, /*index=*/3);
+  scenario(c);
+  const bool differs = a.log() != c.log() ||
+                       a.keys_with_prefix("") != c.keys_with_prefix("");
+  EXPECT_TRUE(differs) << "per-process storage streams should decorrelate";
+}
+
+TEST(StorageTest, FsyncCounterCountsSyncsOnly) {
+  StableStorage s = make();
+  EXPECT_EQ(s.fsyncs(), 0);
+  s.write("a", "1");
+  s.sync();
+  s.append("r");
+  s.sync();
+  s.sync();  // clean syncs still count (they would still hit the disk)
+  EXPECT_EQ(s.fsyncs(), 3);
+}
+
+TEST(StorageCodecTest, EncodeDecodeRoundTrip) {
+  const std::vector<std::string> fields = {
+      "", "plain", "with:colon", std::string("\0binary\n", 8), "123"};
+  EXPECT_EQ(decode_fields(encode_fields(fields)), fields);
+  EXPECT_TRUE(decode_fields("").empty());
+  EXPECT_EQ(decode_fields(encode_fields({})).size(), 0u);
+}
+
+}  // namespace
+}  // namespace cht::sim

@@ -45,6 +45,13 @@ class SyntheticFault final : public chaos::ClusterAdapter {
     inner_->submit(process, std::move(op));
   }
   bool crashed(int process) const override { return inner_->crashed(process); }
+  void restart(int process) override { inner_->restart(process); }
+  bool recovering(int process) const override {
+    return inner_->recovering(process);
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    return inner_->committed_op_ids();
+  }
   int leader() override { return inner_->leader(); }
   bool await_quiesce(Duration timeout) override {
     return inner_->await_quiesce(timeout);

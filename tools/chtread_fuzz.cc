@@ -3,13 +3,14 @@
 // Fans seed ranges across hardware threads; each seed is one independent
 // deterministic simulation of a protocol stack under a nemesis profile, held
 // to the full invariant registry (linearizability, liveness after heal,
-// election safety / committed-prefix agreement). Failing seeds dump
-// self-contained repro artifacts that --repro replays bit-identically.
+// election safety / committed-prefix agreement, durability of acked writes
+// across power cycles). Failing seeds dump self-contained repro artifacts
+// that --repro replays bit-identically.
 //
 // Usage:
 //   chtread_fuzz [--protocol=chtread|raft|raft-lease|vr|all]
 //                [--profile=calm|rolling-partitions|leader-hunter|
-//                 clock-storm|all]
+//                 clock-storm|power-cycle|all]
 //                [--object=kv|counter|bank|queue|lock|all]
 //                [--seeds=200] [--seed-start=1] [--threads=0 (auto)]
 //                [--n=5] [--ops=80] [--read-fraction=0.5] [--key-skew=0.5]
@@ -205,6 +206,13 @@ class CapturingAdapter final : public chaos::ClusterAdapter {
     inner_->submit(process, std::move(op));
   }
   bool crashed(int process) const override { return inner_->crashed(process); }
+  void restart(int process) override { inner_->restart(process); }
+  bool recovering(int process) const override {
+    return inner_->recovering(process);
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    return inner_->committed_op_ids();
+  }
   int leader() override { return inner_->leader(); }
   bool await_quiesce(Duration timeout) override {
     return inner_->await_quiesce(timeout);
@@ -244,7 +252,7 @@ int main(int argc, char** argv) {
                    " n=" + std::to_string(options.base.n) +
                    " ops=" + std::to_string(options.base.ops));
   result.columns({"protocol", "profile", "object", "seeds", "failed",
-                  "undecided", "leader changes", "crashes"});
+                  "undecided", "leader changes", "crashes", "restarts"});
   int total_failures = 0;
   int total_undecided = 0;
   std::vector<std::string> artifacts;
@@ -271,16 +279,19 @@ int main(int argc, char** argv) {
             base, options.seed_start, options.seeds, sweep_options);
         std::int64_t leaders = 0;
         int crashes = 0;
+        int restarts = 0;
         for (const auto& r : sweep.results) {
           leaders += r.leadership_changes;
           crashes += r.crashes;
+          restarts += r.restarts;
         }
         result.row({protocol, profile, object,
                     metrics::Table::num(std::int64_t{options.seeds}),
                     metrics::Table::num(std::int64_t{sweep.failures()}),
                     metrics::Table::num(std::int64_t{sweep.undecided()}),
                     metrics::Table::num(leaders),
-                    metrics::Table::num(std::int64_t{crashes})});
+                    metrics::Table::num(std::int64_t{crashes}),
+                    metrics::Table::num(std::int64_t{restarts})});
         total_failures += sweep.failures();
         total_undecided += sweep.undecided();
         for (const auto& path : sweep.artifacts) artifacts.push_back(path);

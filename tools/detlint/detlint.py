@@ -35,6 +35,13 @@ rejects the ways a contributor could break that:
   D6  threading       No std::thread/atomics/mutexes outside the parallel
                       seed sweeper (src/chaos/sweep.cc) and bench/. The
                       simulator itself is single-threaded by construction.
+  D7  file-io         No direct file I/O (std::fstream family, fopen/freopen,
+                      POSIX open/openat/creat, <fstream>/<cstdio> includes)
+                      in protocol directories. Durable state must go through
+                      the simulated sim::StableStorage so crash/loss/tearing
+                      semantics apply; a real file would silently survive
+                      simulated power cycles. src/chaos/sweep.cc (repro
+                      artifact reader/writer) is the allowlisted exception.
 
 Suppression grammar (see docs/STATIC_ANALYSIS.md):
     // detlint: allow(D<k>) <reason>
@@ -93,6 +100,7 @@ ALLOWLIST = {
     "D4": (),
     "D5": (),
     "D6": ("src/chaos/sweep.cc", "bench/"),
+    "D7": ("src/chaos/sweep.cc",),
 }
 
 RULES = {
@@ -104,6 +112,8 @@ RULES = {
           "nondeterminism)",
     "D5": "scalar field of a wire-format struct without a member initializer",
     "D6": "std::thread/atomic/mutex outside src/chaos/sweep.cc and bench/",
+    "D7": "direct file I/O in a protocol directory (bypasses the simulated "
+          "stable storage)",
 }
 
 SUGGESTIONS = {
@@ -119,6 +129,9 @@ SUGGESTIONS = {
           "default-constructed message has no indeterminate bits",
     "D6": "keep simulated code single-threaded; parallelism belongs in the "
           "seed sweeper (src/chaos/sweep.cc) or bench/ harnesses",
+    "D7": "persist through sim::StableStorage (src/sim/storage.h) so writes "
+          "participate in simulated crash/loss semantics; host files are "
+          "invisible to the power-cycle nemesis",
 }
 
 
@@ -202,7 +215,7 @@ def strip_lines(text):
 
 
 SUPPRESS_RE = re.compile(
-    r"detlint:\s*(?:allow\((D[1-6])\)\s*(\S.*)?|order-independent\s*(\(.+\))?)")
+    r"detlint:\s*(?:allow\((D[1-7])\)\s*(\S.*)?|order-independent\s*(\(.+\))?)")
 
 
 def suppressions(comment):
@@ -245,6 +258,17 @@ D2_RAW_PATTERNS = [re.compile(r"/dev/u?random")]
 D4_PATTERNS = [
     re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
     re.compile(r"std::priority_queue\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+]
+
+# D7 — direct file I/O in protocol directories (rule scope applied at the
+# scan site: only PROTOCOL_DIRS files are checked). The bare open/openat/
+# creat pattern deliberately excludes member calls (`file.open(...)`,
+# `is_open()`) and qualified names via the lookbehind.
+D7_PATTERNS = [
+    re.compile(r"\bstd::(?:basic_)?[io]?fstream\b"),
+    re.compile(r"\bf(?:re)?open\s*\("),
+    re.compile(r"(?<![\w:.>])(?:open|openat|creat)\s*\("),
+    re.compile(r"#\s*include\s*<(?:fstream|cstdio|stdio\.h|fcntl\.h)>"),
 ]
 
 D6_PATTERNS = [
@@ -363,6 +387,11 @@ def scan_file_regex(path, text):
             if pattern.search(code):
                 emit("D6", idx)
                 break
+        if in_protocol_dir:
+            for pattern in D7_PATTERNS:
+                if pattern.search(code):
+                    emit("D7", idx)
+                    break
 
     # Pass 3: D5 struct-field audit (configured files only).
     if path in D5_FILES:
@@ -562,7 +591,7 @@ def report(findings, engine_used, json_out):
 
 # --- Self-test ----------------------------------------------------------------
 
-EXPECT_RE = re.compile(r"detlint-expect:\s*((?:D[1-6])(?:\s*,\s*D[1-6])*)")
+EXPECT_RE = re.compile(r"detlint-expect:\s*((?:D[1-7])(?:\s*,\s*D[1-7])*)")
 
 
 def selftest(tool_dir):

@@ -1,12 +1,19 @@
-// Fixture: negative for rule D6 — src/chaos/sweep.cc is the allowlisted
-// home of the parallel seed sweeper; threads/atomics/mutexes are expected
+// Fixture: negative for rules D6 and D7 — src/chaos/sweep.cc is the
+// allowlisted home of the parallel seed sweeper and the repro-artifact
+// reader/writer; threads/atomics/mutexes and file streams are expected
 // here.
 #include <atomic>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fixture {
+
+void write_artifact_like(const char* path) {
+  std::ofstream out(path);
+  out << "seed=1\n";
+}
 
 int sweep(int jobs) {
   std::atomic<int> next{0};

@@ -1,0 +1,58 @@
+// Fixture: rule D7 — direct file I/O in a protocol directory. Durable
+// protocol state must flow through sim::StableStorage so that simulated
+// power cycles can lose or tear unsynced writes; a host file would survive
+// every simulated crash and the durability invariant would test nothing.
+#include <fstream>  // detlint-expect: D7
+#include <string>
+
+namespace fixture {
+
+void bad_stream_log(const std::string& entry) {
+  std::ofstream log("raft.log", std::ios::app);  // detlint-expect: D7
+  log << entry << "\n";
+}
+
+std::string bad_stream_read() {
+  std::ifstream in("raft.state");  // detlint-expect: D7
+  std::string s;
+  in >> s;
+  return s;
+}
+
+void bad_cstdio(const char* path) {
+  auto* f = fopen(path, "wb");  // detlint-expect: D7
+  if (f) {
+    auto* g = freopen(path, "ab", f);  // detlint-expect: D7
+    (void)g;
+  }
+}
+
+int bad_posix(const char* path) {
+  int fd = open(path, 0);  // detlint-expect: D7
+  int fd2 = openat(fd, path, 0);  // detlint-expect: D7
+  int fd3 = creat(path, 0600);  // detlint-expect: D7
+  return fd + fd2 + fd3;
+}
+
+// Negative cases: member calls and identifiers that merely contain "open"
+// are not file I/O. (Declaring a method literally named `open` still trips
+// the pattern — rename it or carry an allow(D7); none exist in this repo.)
+struct Storage {
+  bool is_open() const { return open_; }
+  void open_slot(int slot) { open_ = slot >= 0; }
+  bool open_ = false;
+};
+
+bool good_member_calls(Storage& storage) {
+  storage.open_slot(3);
+  return storage.is_open();
+}
+
+// Suppression grammar works for D7 like every other rule.
+void good_suppressed(const char* path) {
+  // detlint: allow(D7) test fixture exercising the suppression path
+  auto* f = fopen(path, "rb");
+  (void)f;
+}
+
+}  // namespace fixture
