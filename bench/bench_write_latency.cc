@@ -61,6 +61,59 @@ std::vector<Duration> crash_timeline(ExperimentResult& result,
   return latencies;
 }
 
+// One cell of the E6c sync-latency axis: steady-state writes under a given
+// fsync cost and sync discipline, with fsync count and device stall captured
+// over the timed window only (startup elections/leases are excluded).
+struct SyncAxisCell {
+  Duration p50;
+  double fsyncs_per_batch = 0;
+  std::int64_t sync_stall_us = 0;
+};
+
+SyncAxisCell sync_axis_run(ExperimentResult& result, Duration sync_latency,
+                           bool group_commit, const std::string& label) {
+  harness::ClusterConfig config = base_config(83);
+  config.storage.sync_latency = sync_latency;
+  config.storage.group_commit = group_commit;
+  harness::Cluster cluster(config,
+                           std::make_shared<object::RegisterObject>(),
+                           core::ConfigOverrides{});
+  cluster.await_steady_leader(Duration::seconds(5));
+  cluster.run_for(Duration::seconds(1));
+
+  auto totals = [&](std::int64_t& fsyncs, std::int64_t& stall) {
+    fsyncs = 0;
+    stall = 0;
+    for (int i = 0; i < cluster.n(); ++i) {
+      fsyncs += cluster.sim().storage(ProcessId(i)).fsyncs();
+      stall += cluster.sim().storage(ProcessId(i)).sync_stall_us();
+    }
+  };
+  std::int64_t fsyncs_before = 0, stall_before = 0;
+  totals(fsyncs_before, stall_before);
+
+  metrics::LatencyRecorder lat;
+  const int writes = result.scaled(25, 8);
+  for (int i = 0; i < writes; ++i) {
+    const RealTime t0 = cluster.sim().now();
+    cluster.submit(1, object::RegisterObject::write(std::to_string(i)));
+    cluster.await_quiesce(Duration::seconds(60));
+    lat.record(cluster.sim().now() - t0);
+  }
+
+  std::int64_t fsyncs_after = 0, stall_after = 0;
+  totals(fsyncs_after, stall_after);
+  result.config(label, cluster.config(), cluster.overrides());
+  result.latency(label, lat);
+
+  SyncAxisCell cell;
+  cell.p50 = lat.p50();
+  cell.fsyncs_per_batch =
+      static_cast<double>(fsyncs_after - fsyncs_before) / writes;
+  cell.sync_stall_us = stall_after - stall_before;
+  return cell;
+}
+
 Duration steady_write_latency(ExperimentResult& result, Duration commit_wait,
                               std::uint64_t seed) {
   core::ConfigOverrides overrides;
@@ -134,6 +187,45 @@ int main(int argc, char** argv) {
       "Expected shape: E6a — ours spikes only at write #4 (by\n"
       "~LeasePeriod), all-ack spikes on every write 4..10; E6b —\n"
       "ours flat, commit-wait grows linearly with epsilon.");
+  result.end();
+
+  result.begin(
+      "E6c: write latency and fsync amplification vs sync cost",
+      "Claim: with a real (nonzero) fsync cost, group commit — one covering\n"
+      "sync per ack burst, acks released only after it completes — commits\n"
+      "with fewer fsyncs per batch AND lower median latency than the naive\n"
+      "discipline that syncs every record individually (the extra syncs\n"
+      "queue at the serial device ahead of the ack-critical one). At zero\n"
+      "sync cost the two disciplines are identical by construction.");
+  result.columns({"sync cost", "discipline", "p50 (ms)", "fsyncs/batch",
+                  "sync stall (ms)"});
+  const std::vector<std::pair<std::string, Duration>> sync_axis = {
+      {"0", Duration::zero()},
+      {"0.5*delta", Duration::micros(kDelta.to_micros() / 2)},
+      {"2*delta", 2 * kDelta}};
+  for (const auto& [axis_label, sync_latency] : sync_axis) {
+    for (const bool group : {true, false}) {
+      const std::string discipline = group ? "group-commit" : "naive";
+      const std::string label = "sync-" + axis_label + "-" + discipline;
+      const SyncAxisCell cell =
+          sync_axis_run(result, sync_latency, group, label);
+      result.row({axis_label, discipline, ms2(cell.p50),
+                  metrics::Table::num(cell.fsyncs_per_batch, 2),
+                  ms2(Duration::micros(cell.sync_stall_us))});
+      const std::string suffix =
+          (group ? "_group" : "_naive") + std::string("_sync") +
+          std::to_string(sync_latency.to_micros());
+      result.metric("p50_us" + suffix, cell.p50.to_micros());
+      result.metric("fsyncs_per_batch" + suffix, cell.fsyncs_per_batch);
+      result.metric("sync_stall_us" + suffix, cell.sync_stall_us);
+    }
+  }
+  result.note(
+      "Expected shape: the two zero-cost rows are identical; at every\n"
+      "nonzero cost group commit issues strictly fewer fsyncs per batch;\n"
+      "at 2*delta — where the serial device is the bottleneck — it also\n"
+      "shows clearly lower p50 (at 0.5*delta the device is rarely backed\n"
+      "up, so the latencies are close).");
   result.end();
   return result.finish();
 }

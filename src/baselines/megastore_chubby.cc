@@ -28,7 +28,6 @@ void ChubbyService::persist_session(int client) {
   storage().write("session." + std::to_string(client),
                   std::to_string(session_expiry_.at(
                       static_cast<std::size_t>(client)).to_micros()));
-  sync_storage();
 }
 
 bool ChubbyService::session_alive(int client) {
@@ -40,10 +39,15 @@ void ChubbyService::on_message(const sim::Message& message) {
     session_expiry_.at(message.from.index()) =
         now_local() + config_.session_ttl;
     // Durable before the grant leaves: a restarted service must not think a
-    // granted, still-running session has expired.
+    // granted, still-running session has expired. KeepAlives from several
+    // clients pending in one group-commit window share a covering sync and
+    // their grants leave as one burst.
     persist_session(message.from.index());
-    send(message.from, chubby_msg::kLeaseGrant,
-         chubby_msg::LeaseGrant{config_.session_ttl});
+    const ProcessId client = message.from;
+    request_sync([this, client] {
+      send(client, chubby_msg::kLeaseGrant,
+           chubby_msg::LeaseGrant{config_.session_ttl});
+    });
   } else if (message.is(chubby_msg::kQuery)) {
     const auto& query = message.as<chubby_msg::Query>();
     send(message.from, chubby_msg::kQueryReply,

@@ -31,8 +31,13 @@ void PqlProcess::renewal_tick() {
   ++round_;
   ++stats_.renewals_started;
   storage().write("round", std::to_string(round_));
-  sync_storage();
-  broadcast(msg::kPromise, msg::Promise{round_});
+  // The round record is acceptor state: no Promise for round r may leave
+  // before r is durable, so the broadcast rides the covering sync
+  // (coalescing with any other record replays pending in the window).
+  const std::int64_t round = round_;
+  request_sync([this, round] {
+    broadcast(msg::kPromise, msg::Promise{round});
+  });
   schedule_after(config_.renewal_interval, [this] { renewal_tick(); });
 }
 

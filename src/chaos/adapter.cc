@@ -25,6 +25,9 @@ harness::ClusterConfig cluster_config(const RunSpec& spec) {
   config.epsilon = spec.epsilon();
   config.gst = spec.gst();
   config.pre_gst_loss = spec.pre_gst_loss;
+  config.storage.sync_latency = Duration::micros(spec.sync_latency_us);
+  config.storage.unsynced_key_loss = spec.unsynced_key_loss;
+  config.storage.group_commit = spec.group_commit;
   return config;
 }
 
@@ -220,6 +223,8 @@ class RaftAdapter final : public ClusterAdapter {
     for (int i = 0; i < n(); ++i) {
       out.merge_from(cluster_.replica(i).metrics());
       out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
+      out.add("sync_stall_us",
+              cluster_.sim().storage(ProcessId(i)).sync_stall_us());
     }
   }
 
@@ -323,6 +328,8 @@ class VrAdapter final : public ClusterAdapter {
     for (int i = 0; i < n(); ++i) {
       out.merge_from(cluster_.replica(i).metrics());
       out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
+      out.add("sync_stall_us",
+              cluster_.sim().storage(ProcessId(i)).sync_stall_us());
     }
   }
 

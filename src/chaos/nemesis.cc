@@ -19,6 +19,14 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
   p.gst_shift_max = 40 * delta;
   p.downtime_min = 10 * delta;
   p.downtime_max = 40 * delta;
+  // Crash-loop cycles run much faster than a bounce: the victim is killed
+  // again before any stack's recovery round (lease handshake, VR recovery
+  // quorum, Raft election) can finish. Downtime delta/2..2*delta, up-time
+  // delta/4..delta.
+  p.loop_downtime_min = Duration::micros(delta.to_micros() / 2);
+  p.loop_downtime_max = 2 * delta;
+  p.loop_uptime_min = Duration::micros(delta.to_micros() / 4);
+  p.loop_uptime_max = delta;
   if (name == "calm") {
     return p;
   }
@@ -54,6 +62,21 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
     p.max_crashes = 2;
     return p;
   }
+  if (name == "crash-loop") {
+    // The same process is bounced repeatedly with downtimes and up-times
+    // shorter than recovery completes: each incarnation dies mid-replay,
+    // with its group-commit window half-flushed and its in-flight syncs
+    // abandoned. This is the profile that earns incarnation-namespaced
+    // OperationIds their keep — a slow loop of full power cycles
+    // (power-cycle profile) never re-runs recovery over a *partially
+    // recovered* predecessor the way this does.
+    p.w_crash_loop = 1.0;
+    p.w_restart = 0.2;
+    p.w_partition = 0.25;
+    p.w_link_delay = 0.2;
+    p.max_crashes = 2;
+    return p;
+  }
   if (name == "clock-storm") {
     // Skew up to 5x epsilon: well beyond the synchrony bound, so leases can
     // look valid too long (stale reads) or expired too early (stalls). The
@@ -72,7 +95,7 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
 const std::vector<std::string>& known_profiles() {
   static const std::vector<std::string> kProfiles = {
       "calm", "rolling-partitions", "leader-hunter", "clock-storm",
-      "power-cycle"};
+      "power-cycle", "crash-loop"};
   return kProfiles;
 }
 
@@ -86,7 +109,7 @@ void Nemesis::arm(Duration active_window) {
                        profile_.w_crash + profile_.w_link_delay +
                        profile_.w_clock_skew + profile_.w_gst_shift +
                        profile_.w_duplicate + profile_.w_restart +
-                       profile_.w_bounce;
+                       profile_.w_bounce + profile_.w_crash_loop;
   if (total <= 0) return;  // calm: nothing to schedule
   tick_timer_ = cluster_.sim().after(
       Duration::micros(rng_.next_in(profile_.tick_min.to_micros(),
@@ -142,12 +165,12 @@ void Nemesis::act() {
                             profile_.w_crash,     profile_.w_link_delay,
                             profile_.w_clock_skew, profile_.w_gst_shift,
                             profile_.w_duplicate,  profile_.w_restart,
-                            profile_.w_bounce};
+                            profile_.w_bounce,     profile_.w_crash_loop};
   double total = 0;
   for (double w : weights) total += w;
   double draw = rng_.next_double() * total;
   int action = 0;
-  while (action < 8 && draw >= weights[action]) {
+  while (action < 9 && draw >= weights[action]) {
     draw -= weights[action];
     ++action;
   }
@@ -273,7 +296,7 @@ void Nemesis::act() {
       }
       break;
     }
-    default: {  // bounce: crash now, restart after a drawn powered-off spell
+    case 8: {  // bounce: crash now, restart after a drawn powered-off spell
       const int budget = std::min(profile_.max_crashes, (n - 1) / 2);
       if (down_now() >= budget || cluster_.crashed(a)) break;
       const Duration downtime = Duration::micros(rng_.next_in(
@@ -290,7 +313,52 @@ void Nemesis::act() {
       });
       break;
     }
+    default: {  // crash-loop: bounce the same victim repeatedly, faster than
+                // its recovery round, so successive incarnations re-run
+                // recovery over a half-recovered predecessor's storage.
+      const int budget = std::min(profile_.max_crashes, (n - 1) / 2);
+      if (down_now() >= budget || cluster_.crashed(a)) break;
+      const int cycles = profile_.loop_cycles_min +
+                         static_cast<int>(rng_.next_in(
+                             0, profile_.loop_cycles_max -
+                                    profile_.loop_cycles_min));
+      ++crashes_;
+      pending_restarts_.insert(a);
+      sim.crash(ProcessId(a));
+      note("crash-loop p" + std::to_string(a) + " cycles=" +
+           std::to_string(cycles));
+      schedule_loop_restart(a, cycles);
+      break;
+    }
   }
+}
+
+void Nemesis::schedule_loop_restart(int p, int remaining) {
+  const Duration downtime = Duration::micros(
+      rng_.next_in(profile_.loop_downtime_min.to_micros(),
+                   profile_.loop_downtime_max.to_micros()));
+  cluster_.sim().after(downtime, [this, p, remaining] {
+    if (!pending_restarts_.contains(p) || !cluster_.crashed(p)) return;
+    do_restart(p);
+    if (remaining <= 1) return;
+    const Duration uptime = Duration::micros(
+        rng_.next_in(profile_.loop_uptime_min.to_micros(),
+                     profile_.loop_uptime_max.to_micros()));
+    cluster_.sim().after(uptime, [this, p, remaining] {
+      // The window may have closed or another fault consumed the crash
+      // budget while we were up: end the loop rather than exceed either.
+      if (cluster_.sim().now() >= active_until_) return;
+      if (cluster_.crashed(p)) return;
+      const int budget =
+          std::min(profile_.max_crashes, (cluster_.n() - 1) / 2);
+      if (down_now() >= budget) return;
+      ++crashes_;
+      pending_restarts_.insert(p);
+      cluster_.sim().crash(ProcessId(p));
+      note("crash-loop re-crash p" + std::to_string(p));
+      schedule_loop_restart(p, remaining - 1);
+    });
+  });
 }
 
 void Nemesis::stop_and_heal() {
@@ -322,7 +390,8 @@ void Nemesis::stop_and_heal() {
   // down comes back up and recovers, so liveness can demand full quiescence.
   // Profiles without restart weight keep the historical crash-stop behavior
   // (and their byte-identical fingerprints).
-  if (profile_.w_restart > 0 || profile_.w_bounce > 0) {
+  if (profile_.w_restart > 0 || profile_.w_bounce > 0 ||
+      profile_.w_crash_loop > 0) {
     pending_restarts_.clear();
     for (int i = 0; i < cluster_.n(); ++i) {
       if (cluster_.crashed(i)) do_restart(i);

@@ -11,6 +11,11 @@
 //   duplication      raise the pre-GST duplicate probability for a while
 //   restart          power a crashed process back up (recovery path runs)
 //   bounce           power cycle: crash now, restart after a drawn downtime
+//   crash-loop       bounce the *same* process repeatedly, with downtimes
+//                    and up-times shorter than recovery completes, so each
+//                    incarnation is killed mid-replay (stresses
+//                    incarnation-namespaced OperationIds and repeated
+//                    recovery over half-synced storage)
 //
 // Crashes are budgeted by how many processes are down *right now*, so a
 // restart refunds the budget: profiles with restart/bounce weight can cycle
@@ -51,6 +56,7 @@ struct NemesisProfile {
   double w_duplicate = 0;
   double w_restart = 0;
   double w_bounce = 0;
+  double w_crash_loop = 0;
 
   // Fault shaping.
   Duration partition_min = Duration::millis(100);
@@ -63,6 +69,16 @@ struct NemesisProfile {
   // Downtime a bounced process spends powered off before its restart.
   Duration downtime_min = Duration::millis(100);
   Duration downtime_max = Duration::millis(500);
+  // Crash-loop shaping: per-cycle powered-off downtime, running up-time
+  // before the next kill (both deliberately shorter than any stack's
+  // recovery round), and how many kills one crash-loop action strings
+  // together on its victim.
+  Duration loop_downtime_min = Duration::millis(5);
+  Duration loop_downtime_max = Duration::millis(20);
+  Duration loop_uptime_min = Duration::millis(2);
+  Duration loop_uptime_max = Duration::millis(10);
+  int loop_cycles_min = 2;
+  int loop_cycles_max = 4;
   // Bound on processes down at once (additionally clamped to a minority of
   // n). With restart/bounce weight this is a concurrency bound, not a total:
   // restarts refund it.
@@ -77,7 +93,8 @@ struct NemesisProfile {
 };
 
 // Built-in profiles, scaled to the run's delta/epsilon: "calm",
-// "rolling-partitions", "leader-hunter", "clock-storm", "power-cycle".
+// "rolling-partitions", "leader-hunter", "clock-storm", "power-cycle",
+// "crash-loop".
 NemesisProfile nemesis_profile(const std::string& name, Duration delta,
                                Duration epsilon);
 
@@ -110,6 +127,9 @@ class Nemesis {
   int down_now() const;
   // Powers crashed process p back up and logs it.
   void do_restart(int p);
+  // Crash-loop chain step: restart p after a short drawn downtime, and if
+  // `remaining` cycles are left, kill it again after a short drawn up-time.
+  void schedule_loop_restart(int p, int remaining);
 
   ClusterAdapter& cluster_;
   NemesisProfile profile_;

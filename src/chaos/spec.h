@@ -18,7 +18,8 @@ struct RunSpec {
   // "raft" (ReadIndex reads), "raft-lease" (leader-lease reads), or "vr".
   std::string protocol = "chtread";
   // Nemesis intensity profile: "calm", "rolling-partitions",
-  // "leader-hunter", or "clock-storm" (see nemesis.h).
+  // "leader-hunter", "clock-storm", "power-cycle", or "crash-loop"
+  // (see nemesis.h).
   std::string profile = "calm";
   // Object model the workload runs over: kv|counter|bank|queue|lock.
   std::string object = "kv";
@@ -29,6 +30,17 @@ struct RunSpec {
   std::int64_t epsilon_ms = 1;
   std::int64_t gst_ms = 1000;
   double pre_gst_loss = 0.1;
+
+  // Stable-storage model. Chaos runs pay a nonzero fsync cost by default
+  // (half a delta at the default delta_ms = 10) so every sweep exercises the
+  // group-commit and pipelined write paths; benches sweep this axis
+  // explicitly. unsynced_key_loss is the per-key probability that a keyed
+  // write which was never synced is lost at crash time (0.0 and 1.0 are the
+  // interesting extremes: "the page cache always survived" vs "everything
+  // unsynced is gone").
+  std::int64_t sync_latency_us = 5000;
+  double unsynced_key_loss = 0.5;
+  bool group_commit = true;
 
   // Workload shape.
   int ops = 80;

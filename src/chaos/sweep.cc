@@ -183,6 +183,9 @@ bool write_artifact(const std::string& path, const RunResult& result) {
       << "epsilon_ms=" << s.epsilon_ms << "\n"
       << "gst_ms=" << s.gst_ms << "\n"
       << "pre_gst_loss=" << format_double(s.pre_gst_loss) << "\n"
+      << "sync_latency_us=" << s.sync_latency_us << "\n"
+      << "unsynced_key_loss=" << format_double(s.unsynced_key_loss) << "\n"
+      << "group_commit=" << (s.group_commit ? 1 : 0) << "\n"
       << "ops=" << s.ops << "\n"
       << "read_fraction=" << format_double(s.read_fraction) << "\n"
       << "key_skew=" << format_double(s.key_skew) << "\n"
@@ -230,6 +233,9 @@ std::optional<Artifact> load_artifact(const std::string& path) {
     else if (key == "epsilon_ms") s.epsilon_ms = std::stoll(value);
     else if (key == "gst_ms") s.gst_ms = std::stoll(value);
     else if (key == "pre_gst_loss") s.pre_gst_loss = std::stod(value);
+    else if (key == "sync_latency_us") s.sync_latency_us = std::stoll(value);
+    else if (key == "unsynced_key_loss") s.unsynced_key_loss = std::stod(value);
+    else if (key == "group_commit") s.group_commit = std::stoi(value) != 0;
     else if (key == "ops") s.ops = std::stoi(value);
     else if (key == "read_fraction") s.read_fraction = std::stod(value);
     else if (key == "key_skew") s.key_skew = std::stod(value);

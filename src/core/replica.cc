@@ -491,17 +491,28 @@ void Replica::start_doops(Batch ops, BatchNumber number, bool initial) {
   doops_->ops = ops;
   doops_->number = number;
   doops_->initial = initial;
-  doops_->ackers.insert(id().index());
   doops_->prepare_started = now_local();
   span_doops_prepare_.begin(doops_->prepare_started.to_micros());
   span_doops_total_.begin(doops_->prepare_started.to_micros());
   // Line 53: adopt (O, t, j) as our own estimate.
   adopt_estimate(std::move(ops), leader_time_, number);
-  // Our self-ack counts toward the majority, so our adoption must be as
-  // durable as any follower's before the first Prepare goes out.
-  sync_storage();
+  // Pipelined write path: the Prepares go out while our own covering sync is
+  // still in flight, so batch j's prepare round overlaps the fsync instead
+  // of serializing behind it. Our self-ack counts toward the majority
+  // exactly like a follower's PrepareAck, so it is recorded only once the
+  // covering sync completes — until then our adoption is no more durable
+  // than an unacked follower's (see DESIGN.md on group-commit safety).
   send_prepares();
-  maybe_reach_majority();  // n == 1: our own ack already is a majority
+  const LocalTime t = leader_time_;
+  request_sync([this, t, number] {
+    if (!doops_.has_value() || t != leader_time_ ||
+        number != doops_->number) {
+      return;  // reign or batch changed while the sync was in flight
+    }
+    doops_->ackers.insert(id().index());
+    maybe_reach_majority();  // n == 1: our own ack already is a majority
+    check_leaseholder_gate();
+  });
 }
 
 void Replica::maybe_reach_majority() {
@@ -513,12 +524,17 @@ void Replica::maybe_reach_majority() {
   doops_->resend_timer.cancel();
   end_span(span_doops_prepare_, "span.doops.prepare");
   span_doops_gate_.begin(now_local().to_micros());
-  // Condition (ii) of the leaseholder gate: 2*delta since Prepares started
-  // (the worst-case round trip after stabilization).
+  // Condition (ii) of the leaseholder gate: the worst-case ack round trip
+  // after stabilization (2*delta of messages, plus fsync cost — see
+  // prepare_ack_deadline()).
   doops_->gate_timer =
-      schedule_at_local(doops_->prepare_started + 2 * config_.delta,
+      schedule_at_local(doops_->prepare_started + prepare_ack_deadline(),
                         [this] { check_leaseholder_gate(); });
   check_leaseholder_gate();
+}
+
+Duration Replica::prepare_ack_deadline() const {
+  return 2 * config_.delta + 3 * storage().config().sync_latency;
 }
 
 void Replica::send_prepares() {
@@ -574,7 +590,7 @@ void Replica::check_leaseholder_gate() {
     finish_doops();
     return;
   }
-  if (now_local() >= doops_->prepare_started + 2 * config_.delta) {
+  if (now_local() >= doops_->prepare_started + prepare_ack_deadline()) {
     // Condition (ii) fired with a leaseholder missing: delay the commit
     // until every lease we or a predecessor issued has expired, even on
     // clocks running epsilon slow (lines 60-61).
@@ -830,9 +846,11 @@ void Replica::on_est_req(ProcessId from, const msg::EstReq& request) {
   }
   // The promise must survive a crash: a recovered process that forgot it
   // could ack an older leader's Prepare the live quorum already superseded.
+  // The reply only leaves once the covering sync completes; promise syncs
+  // pending in one group-commit window share a single sync() and their
+  // replies depart as one burst.
   persist_promised();
-  sync_storage();
-  send(from, msg::kEstReply, reply);
+  request_sync([this, from, reply] { send(from, msg::kEstReply, reply); });
 }
 
 void Replica::adopt_estimate(Batch ops, LocalTime t, BatchNumber j) {
@@ -877,11 +895,15 @@ void Replica::on_prepare(ProcessId from, const msg::Prepare& prepare) {
     adopt_estimate(prepare.ops, prepare.leader_time, prepare.number);
     // Durability before the ack leaves: the leader counts this process
     // toward its majority (and leaseholder gate) on the strength of the ack,
-    // so the adopted estimate and promise must survive a crash.
+    // so the adopted estimate and promise must survive a crash. Under group
+    // commit the ack rides the next covering sync — every Prepare (or
+    // duplicate resend) that lands while a sync is in flight coalesces into
+    // one following sync(), and the acks leave as one burst. A later sync
+    // covering a *fresher* estimate still justifies this ack: recovery then
+    // restores state at least as advanced as what was acked.
     persist_promised();
-    sync_storage();
-    send(from, msg::kPrepareAck,
-         msg::PrepareAck{prepare.leader_time, prepare.number});
+    const msg::PrepareAck ack{prepare.leader_time, prepare.number};
+    request_sync([this, from, ack] { send(from, msg::kPrepareAck, ack); });
   }
 }
 
@@ -936,6 +958,13 @@ void Replica::store_batch(BatchNumber number, const Batch& ops) {
   }
   batches_.emplace(number, ops);
   persist_batch(number, ops);
+  if (!storage().config().group_commit) {
+    // Naive sync-per-batch discipline (the bench A/B baseline): each batch
+    // record is fsynced on its own instead of riding the next ack-critical
+    // covering sync. Fire-and-forget — correctness never depended on this
+    // sync, but the device time it occupies delays the syncs acks do wait on.
+    sync_storage();
+  }
   max_known_batch_ = std::max(max_known_batch_, number);
 }
 

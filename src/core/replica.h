@@ -178,6 +178,15 @@ class Replica : public sim::Process {
   void send_prepares();
   void on_prepare_ack(ProcessId from, const msg::PrepareAck& ack);
   void maybe_reach_majority();
+  // How long after Prepares start before condition (ii) of the leaseholder
+  // gate may fire: the paper's 2*delta message round trip, widened by the
+  // worst-case fsync delay a follower pays before its PrepareAck may leave
+  // (group-commit window wait + its own covering sync, each up to 1.25x the
+  // configured base). Firing later is always safe — the gate then just
+  // waits longer for real acks instead of punting to the lease-expiry
+  // wait — so this only needs to be an upper bound. Zero sync latency
+  // degenerates to exactly the paper's 2*delta.
+  Duration prepare_ack_deadline() const;
   void check_leaseholder_gate();
   void finish_doops();
 

@@ -23,6 +23,7 @@ void Cluster::merge_metrics_into(metrics::Registry& out) {
     // Storage lives beside the replica (it survives incarnations), so its
     // fsync count is merged here rather than in the replica registry.
     out.add("fsyncs", sim_.storage(ProcessId(i)).fsyncs());
+    out.add("sync_stall_us", sim_.storage(ProcessId(i)).sync_stall_us());
   }
 }
 

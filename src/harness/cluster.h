@@ -23,11 +23,14 @@ struct ClusterConfig {
   RealTime gst = RealTime::zero();
   double pre_gst_loss = 0.05;
   Duration pre_gst_delay_max = Duration::millis(200);
+  // Stable-storage model (fsync latency, crash-time loss, group commit).
+  sim::StorageConfig storage;
 
   sim::SimulationConfig to_sim_config() const {
     sim::SimulationConfig sc;
     sc.seed = seed;
     sc.epsilon = epsilon;
+    sc.storage = storage;
     sc.network.gst = gst;
     sc.network.delta = delta;
     sc.network.delta_min = Duration::micros(

@@ -15,10 +15,6 @@ void EnhancedLeaderService::start() { support_tick(); }
 
 void EnhancedLeaderService::persist_counter() {
   host_.storage().write(kCounterKey, std::to_string(change_counter_));
-  // Durable before any grant carries this counter (sync_storage makes the
-  // write durable at the moment of the call; the latency only delays a
-  // continuation, and we pass none).
-  host_.sync_storage();
 }
 
 void EnhancedLeaderService::recover() {
@@ -39,6 +35,7 @@ void EnhancedLeaderService::support_tick() {
   const ProcessId current = leader_fn_();
   const LocalTime now = host_.now_local();
 
+  bool counter_changed = false;
   if (current != supported_) {
     // Observed a leader change: bump the counter. Grants to the new leader
     // must start strictly after every interval we granted to the previous
@@ -47,6 +44,7 @@ void EnhancedLeaderService::support_tick() {
     // may freely overlap each other.
     ++change_counter_;
     persist_counter();
+    counter_changed = true;
     supported_ = current;
     if (last_grant_end_ != LocalTime::min()) {
       min_grant_start_ = last_grant_end_ + Duration::micros(1);
@@ -57,12 +55,26 @@ void EnhancedLeaderService::support_tick() {
   const SupportGrant grant{change_counter_, start, end};
   last_grant_end_ = std::max(last_grant_end_, end);
 
-  if (supported_ == host_.id()) {
-    record_support(host_.id(), grant);  // self-support needs no message
+  const ProcessId target = supported_;
+  if (counter_changed) {
+    // No grant may carry a counter value that could be forgotten: the first
+    // grant after a bump leaves only once the covering sync completes
+    // (coalescing with whatever else is pending in the group-commit window).
+    host_.request_sync([this, target, grant] { deliver_grant(target, grant); });
   } else {
-    host_.send(supported_, kSupportType, grant);
+    // Renewals reuse an already-durable counter and need no sync.
+    deliver_grant(target, grant);
   }
   host_.schedule_after(config_.support_interval, [this] { support_tick(); });
+}
+
+void EnhancedLeaderService::deliver_grant(ProcessId target,
+                                          const SupportGrant& grant) {
+  if (target == host_.id()) {
+    record_support(host_.id(), grant);  // self-support needs no message
+  } else {
+    host_.send(target, kSupportType, grant);
+  }
 }
 
 bool EnhancedLeaderService::handle_message(const sim::Message& message) {

@@ -97,6 +97,7 @@ class EnhancedLeaderService {
 
   void support_tick();
   void persist_counter();
+  void deliver_grant(ProcessId target, const SupportGrant& grant);
   void record_support(ProcessId from, const SupportGrant& grant);
   void prune(SupporterRecord& record);
   static bool covers(const SupporterRecord& record, LocalTime t1, LocalTime t2);

@@ -95,6 +95,9 @@ void RaftReplica::truncate_log_suffix(std::int64_t first_dropped) {
   }
   log_.resize(static_cast<std::size_t>(first_dropped - 1));
   storage().truncate_log(static_cast<std::size_t>(first_dropped - 1));
+  if (synced_log_index_ > first_dropped - 1) {
+    synced_log_index_ = first_dropped - 1;
+  }
 }
 
 void RaftReplica::recover_from_storage() {
@@ -107,6 +110,8 @@ void RaftReplica::recover_from_storage() {
     ids_in_log_.insert(entry.id);
     c_recovered_entries_->inc();
   }
+  // Whatever survived the crash is durable by definition.
+  synced_log_index_ = last_log_index();
   // commit_index_/last_applied_ stay 0: they are volatile and re-learned
   // from the next leader's AppendEntries (entries re-apply from scratch
   // against the fresh state machine).
@@ -136,14 +141,20 @@ void RaftReplica::start_election() {
   ++term_;
   voted_for_ = id().index();
   votes_ = {id().index()};
-  // The self-vote must be durable before anyone can learn of the candidacy.
+  // The self-vote must be durable before anyone can learn of the candidacy:
+  // the RequestVote broadcast waits for the covering sync to complete.
   persist_hard_state();
-  sync_storage();
   CHT_DEBUG(kTag) << id() << " starts election for term " << term_;
-  broadcast(msg::kRequestVote,
-            msg::RequestVote{term_, last_log_index(), term_at(last_log_index())});
-  reset_election_timer();
-  if (static_cast<int>(votes_.size()) >= majority()) become_leader();  // n == 1
+  const std::int64_t t = term_;
+  request_sync([this, t] {
+    if (role_ != Role::kCandidate || term_ != t) {
+      return;  // a leader emerged (or a newer term) while the sync ran
+    }
+    broadcast(msg::kRequestVote, msg::RequestVote{term_, last_log_index(),
+                                                  term_at(last_log_index())});
+    reset_election_timer();
+    if (static_cast<int>(votes_.size()) >= majority()) become_leader();  // n == 1
+  });
 }
 
 void RaftReplica::become_follower(std::int64_t term) {
@@ -184,9 +195,15 @@ void RaftReplica::become_leader() {
   // ReadIndex reads observe every previously committed entry.
   const OperationId noop_id{id(), ++op_seq_};
   append_log_entry(LogEntry{term_, noop_id, object::no_op()});
-  // advance_commit counts this replica's own log toward the majority, so
-  // leader appends are synced before any AppendEntries advertises them.
-  sync_storage();
+  // Pipelined: the heartbeats below advertise the no-op while its covering
+  // sync is still in flight; our own log counts toward commit only up to
+  // synced_log_index_, which advances when the sync completes.
+  const std::int64_t idx = last_log_index();
+  const std::int64_t t = term_;
+  request_sync([this, idx, t] {
+    if (synced_log_index_ < idx) synced_log_index_ = idx;
+    if (role_ == Role::kLeader && term_ == t) advance_commit();
+  });
   heartbeat_tick();
 }
 
@@ -213,13 +230,18 @@ void RaftReplica::on_request_vote(ProcessId from,
         (request.last_log_term == our_last_term &&
          request.last_log_index >= last_log_index());
     if (up_to_date) {
-      granted = true;
       voted_for_ = from.index();
       // The vote must survive a crash: a recovered replica that forgot it
-      // could vote twice in one term and elect two leaders.
+      // could vote twice in one term and elect two leaders. The grant leaves
+      // only after the covering sync completes (vote syncs pending in one
+      // group-commit window coalesce and their replies burst together).
       persist_hard_state();
-      sync_storage();
       reset_election_timer();
+      const std::int64_t t = term_;
+      request_sync([this, from, t] {
+        send(from, msg::kVoteReply, msg::VoteReply{t, true});
+      });
+      return;
     }
   }
   send(from, msg::kVoteReply, msg::VoteReply{term_, granted});
@@ -305,18 +327,31 @@ void RaftReplica::on_append_entries(ProcessId from,
     log_changed = true;
   }
   // Durability before the success reply: the leader counts this replica's
-  // match_index toward commit on its strength. Heartbeats that changed
-  // nothing re-claim an already-durable prefix and need no sync.
-  if (log_changed) sync_storage();
-  if (append.leader_commit > commit_index_) {
-    commit_index_ = std::min(append.leader_commit, last_log_index());
-    apply_committed();
+  // match_index toward commit on its strength. One sync covers the whole
+  // flight's appends; under group commit, flights (or other promise work)
+  // landing while that sync is in flight coalesce into the next one and
+  // their replies leave as one burst. Heartbeats that changed nothing
+  // re-claim an already-durable prefix and need no sync.
+  const std::int64_t appended_upto =
+      append.prev_index + static_cast<std::int64_t>(append.entries.size());
+  const msg::AppendReply reply{term_, true, appended_upto, append.probe_seq,
+                               append.lease_stamp};
+  const std::int64_t leader_commit = append.leader_commit;
+  auto complete = [this, from, reply, leader_commit] {
+    if (leader_commit > commit_index_) {
+      commit_index_ = std::min(leader_commit, last_log_index());
+      apply_committed();
+    }
+    send(from, msg::kAppendReply, reply);
+  };
+  if (log_changed) {
+    request_sync([this, appended_upto, complete] {
+      if (synced_log_index_ < appended_upto) synced_log_index_ = appended_upto;
+      complete();
+    });
+  } else {
+    complete();
   }
-  send(from, msg::kAppendReply,
-       msg::AppendReply{term_, true,
-                        append.prev_index +
-                            static_cast<std::int64_t>(append.entries.size()),
-                        append.probe_seq, append.lease_stamp});
 }
 
 void RaftReplica::on_append_reply(ProcessId from,
@@ -347,7 +382,9 @@ void RaftReplica::on_append_reply(ProcessId from,
 void RaftReplica::advance_commit() {
   for (std::int64_t n = last_log_index(); n > commit_index_; --n) {
     if (term_at(n) != term_) break;  // only current-term entries by counting
-    int replicas = 1;  // self
+    // Self counts only up to the completed-sync watermark: with the
+    // pipelined write path our log may run ahead of the covering fsync.
+    int replicas = synced_log_index_ >= n ? 1 : 0;
     for (int i = 0; i < cluster_size(); ++i) {
       if (i != id().index() && match_index_[i] >= n) ++replicas;
     }
@@ -439,11 +476,19 @@ void RaftReplica::on_client_rmw(ProcessId /*from*/, const msg::ClientRmw& rmw) {
   if (role_ != Role::kLeader) return;  // submitter retries
   if (ids_in_log_.contains(rmw.id)) return;  // duplicate retry
   append_log_entry(LogEntry{term_, rmw.id, rmw.op});
-  sync_storage();  // our own match counts toward the majority
+  // Pipelined: the replication flights below leave while our own covering
+  // sync is in flight; our match counts toward the majority only once it
+  // completes (synced_log_index_), so a commit never rests on an unsynced
+  // leader log.
+  const std::int64_t idx = last_log_index();
+  const std::int64_t t = term_;
+  request_sync([this, idx, t] {
+    if (synced_log_index_ < idx) synced_log_index_ = idx;
+    if (role_ == Role::kLeader && term_ == t) advance_commit();
+  });
   for (int i = 0; i < cluster_size(); ++i) {
     if (i != id().index()) send_append(ProcessId(i));
   }
-  if (cluster_size() == 1) advance_commit();
 }
 
 void RaftReplica::on_client_read(ProcessId from, const msg::ClientRead& read) {

@@ -241,6 +241,11 @@ class RaftReplica : public sim::Process {
   std::vector<LogEntry> log_;  // log_[i] holds index i+1
   // Ordered (not hashed): deterministic by construction (detlint rule D3).
   std::set<OperationId> ids_in_log_;
+  // Highest log index covered by a *completed* sync. The pipelined write
+  // path appends, starts the covering sync, and sends replication flights
+  // immediately; advance_commit counts this replica's own log toward the
+  // majority only up to here, so commits never rest on an in-flight fsync.
+  std::int64_t synced_log_index_ = 0;
 
   // Volatile state.
   Role role_ = Role::kFollower;

@@ -14,6 +14,7 @@
 #include <any>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
@@ -76,10 +77,20 @@ class Process {
 
   // Syncs this process's stable storage, then runs `fn`. With the default
   // zero sync latency the continuation runs inline (no event scheduled);
-  // with nonzero configured latency it runs after that delay on the
-  // simulation timeline. Either way the written data is durable from the
-  // moment of the call.
+  // with nonzero configured latency it runs once the device completes the
+  // fsync — fsync cost is paid serially, so a sync issued while an earlier
+  // one is still in flight queues behind it. Either way the written data is
+  // durable from the moment of the call.
   void sync_storage(std::function<void()> fn = {});
+
+  // Group-commit entry point for ack-critical durability: runs `fn` after a
+  // sync() covering every write made before this call. With group commit
+  // enabled (StorageConfig::group_commit), requests arriving while an
+  // earlier sync's latency window is in flight coalesce into the single
+  // next sync, whose completion releases all their continuations
+  // back-to-back as one ack burst. With group commit disabled, or at zero
+  // sync latency, each call is exactly sync_storage(fn).
+  void request_sync(std::function<void()> fn);
 
   // Records a protocol-level trace event (no-op unless tracing is enabled).
   void trace_event(std::string category, std::string detail = "") const;
@@ -99,10 +110,18 @@ class Process {
   }
   void mark_crashed() { crashed_ = true; }
 
+  void start_group_sync();
+
   Simulation* sim_ = nullptr;
   ProcessId id_;
   int n_ = 0;
   bool crashed_ = false;
+  // Group-commit state (request_sync): continuations awaiting the next
+  // covering sync, and whether one is currently in flight. Dies with the
+  // incarnation — a restart starts with a clean window, matching a real
+  // process losing its in-memory commit queue.
+  std::vector<std::function<void()>> sync_pending_;
+  bool sync_in_flight_ = false;
 };
 
 }  // namespace cht::sim

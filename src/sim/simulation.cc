@@ -146,13 +146,44 @@ int Process::incarnation() const {
 void Process::sync_storage(std::function<void()> fn) {
   StableStorage& st = storage();
   st.sync();
-  const Duration latency = st.config().sync_latency;
-  if (!fn) return;
-  if (latency == Duration::zero()) {
-    fn();
-  } else {
-    schedule_after(latency, std::move(fn));
+  if (st.effective_sync_latency() == Duration::zero()) {
+    if (fn) fn();
+    return;
   }
+  // The data is durable from this moment; what nonzero latency models is the
+  // *cost* of the fsync, paid serially at the device (sync_completion_us
+  // queues this sync behind any still in flight). Continuations — and with
+  // them every ack gated on durability — wait for the completion.
+  const std::int64_t now_us = now_real().to_micros();
+  const std::int64_t done_us = st.sync_completion_us(now_us);
+  if (fn) schedule_after(Duration::micros(done_us - now_us), std::move(fn));
+}
+
+void Process::request_sync(std::function<void()> fn) {
+  StableStorage& st = storage();
+  if (!st.config().group_commit ||
+      st.effective_sync_latency() == Duration::zero()) {
+    sync_storage(std::move(fn));
+    return;
+  }
+  sync_pending_.push_back(std::move(fn));
+  if (!sync_in_flight_) start_group_sync();
+}
+
+void Process::start_group_sync() {
+  // Claim exactly the requests whose writes precede this sync() call;
+  // requests arriving during the latency window are not covered by it and
+  // queue for the next one.
+  auto burst = std::make_shared<std::vector<std::function<void()>>>();
+  burst->swap(sync_pending_);
+  sync_in_flight_ = true;
+  sync_storage([this, burst] {
+    for (auto& fn : *burst) {
+      if (fn) fn();
+    }
+    sync_in_flight_ = false;
+    if (!sync_pending_.empty()) start_group_sync();
+  });
 }
 
 void Process::trace_event(std::string category, std::string detail) const {

@@ -17,14 +17,42 @@ std::uint64_t mix(std::uint64_t x) {
 }
 
 constexpr std::uint64_t kStorageStream = 0x73746f7261676531ULL;  // "storage1"
+// Separate stream for the per-process fsync-latency draw: it must not
+// consume from the crash-loss rng_, so enabling nonzero sync latency leaves
+// every existing seed's loss/tearing draw sequence untouched.
+constexpr std::uint64_t kSyncLatencyStream = 0x73796e636c617431ULL;  // "synclat1"
+
+// The per-process fsync latency: base stretched by a deterministic factor in
+// [0.75, 1.25] derived from (sim seed, process index). Integer permille
+// arithmetic keeps the result exact (and reproducible) in microseconds.
+Duration draw_sync_latency(std::uint64_t sim_seed, int process_index,
+                           Duration base) {
+  if (base == Duration::zero()) return Duration::zero();
+  const std::uint64_t u = mix(mix(sim_seed ^ kSyncLatencyStream) +
+                              static_cast<std::uint64_t>(process_index));
+  const std::int64_t permille = 750 + static_cast<std::int64_t>(u % 501);
+  const std::int64_t us = base.to_micros() * permille / 1000;
+  return Duration::micros(us < 1 ? 1 : us);
+}
 
 }  // namespace
 
 StableStorage::StableStorage(std::uint64_t sim_seed, int process_index,
                              StorageConfig config)
     : config_(config),
+      sync_latency_(
+          draw_sync_latency(sim_seed, process_index, config.sync_latency)),
       rng_(mix(mix(sim_seed ^ kStorageStream) +
                static_cast<std::uint64_t>(process_index))) {}
+
+std::int64_t StableStorage::sync_completion_us(std::int64_t now_us) {
+  const std::int64_t start =
+      now_us > device_free_at_us_ ? now_us : device_free_at_us_;
+  const std::int64_t done = start + sync_latency_.to_micros();
+  device_free_at_us_ = done;
+  sync_stall_us_ += done - now_us;
+  return done;
+}
 
 void StableStorage::write(const std::string& key, const std::string& value) {
   auto it = records_.find(key);

@@ -28,15 +28,27 @@
 namespace cht::sim {
 
 struct StorageConfig {
-  // Simulated fsync cost. Zero (the default) models an instantaneous sync:
-  // sync() is a plain synchronous call and Process::sync_storage runs its
-  // continuation inline, scheduling no event. Nonzero latency delays the
-  // continuation on the simulation timeline.
+  // Simulated fsync cost (base value). Zero (the default) models an
+  // instantaneous sync: sync() is a plain synchronous call and
+  // Process::sync_storage runs its continuation inline, scheduling no event.
+  // Nonzero latency delays continuations on the simulation timeline; each
+  // process pays a deterministic per-process latency within +/-25% of this
+  // base, drawn from a private splitmix stream over (sim seed, process
+  // index) — never from the simulation Rng — so turning latency on or off
+  // perturbs none of an existing seed's other random draws.
   Duration sync_latency = Duration::zero();
   // Each keyed write that was never synced is lost independently with this
   // probability when the process crashes (reverting the key to its last
   // durable value).
   double unsynced_key_loss = 0.5;
+  // Group commit: durability requests issued through Process::request_sync
+  // while an earlier sync's latency window is still in flight coalesce into
+  // one following sync() covering all of them, whose completion releases the
+  // whole ack burst. false selects the naive discipline: every request
+  // issues its own sync immediately (queueing at the device), and protocols
+  // additionally sync records that would normally ride along with the next
+  // ack-critical sync. At zero sync latency the two behave identically.
+  bool group_commit = true;
 };
 
 class StableStorage {
@@ -68,6 +80,20 @@ class StableStorage {
   std::int64_t fsyncs() const { return fsyncs_; }
   const StorageConfig& config() const { return config_; }
 
+  // This process's actual fsync latency: the configured base stretched by a
+  // deterministic per-process factor in [0.75, 1.25]. A zero base stays
+  // exactly zero.
+  Duration effective_sync_latency() const { return sync_latency_; }
+
+  // Device-time model used by Process::sync_storage: fsync cost is paid
+  // serially at the (single) storage device, so a sync issued while an
+  // earlier one is still in flight queues behind it. Returns the completion
+  // time of a sync issued at now_us and accrues the total stall (queueing +
+  // latency) into sync_stall_us(). Only meaningful with nonzero latency.
+  std::int64_t sync_completion_us(std::int64_t now_us);
+  // Cumulative time continuations spent waiting on sync completions.
+  std::int64_t sync_stall_us() const { return sync_stall_us_; }
+
   // Called by the simulation when the owning process crashes. Applies the
   // seed-deterministic loss/tearing of unsynced writes described above.
   void lose_unsynced_writes();
@@ -78,6 +104,9 @@ class StableStorage {
   }
 
   StorageConfig config_;
+  Duration sync_latency_ = Duration::zero();
+  std::int64_t device_free_at_us_ = 0;
+  std::int64_t sync_stall_us_ = 0;
   Rng rng_;
   // Current keyed view. Durable state is reconstructed at crash time from
   // dirty_keys_, which remembers each dirty key's last durable value

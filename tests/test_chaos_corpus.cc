@@ -24,6 +24,9 @@ struct CorpusEntry {
   std::string object;
   std::uint64_t seed;
   const char* why;
+  // Unsynced-write loss probability for power cycles; 0.5 is the sweep
+  // default, 0.0/1.0 pin the boundary disks.
+  double key_loss = 0.5;
 };
 
 const std::vector<CorpusEntry>& corpus() {
@@ -65,6 +68,18 @@ const std::vector<CorpusEntry>& corpus() {
       {"raft-lease", "power-cycle", "counter", 9,
        "power-cycle recovery coverage"},
       {"vr", "power-cycle", "queue", 12, "power-cycle recovery coverage"},
+      // Key-loss boundary pins, one eventful seed per extreme. 1.0 is the
+      // failing-shaped disk: every unsynced write (promise, estimate, log
+      // batch, ELS counter) dies with the crash, so any ack that left before
+      // its covering sync would surface here as a durability violation. 0.0
+      // is the opposite trap: state the replica never acked comes back.
+      {"chtread", "power-cycle", "kv", 14, "key-loss=1.0 boundary pin", 1.0},
+      {"raft", "power-cycle", "kv", 15, "key-loss=0.0 boundary pin", 0.0},
+      // Crash-loop coverage: the same victim bounced repeatedly with
+      // downtimes shorter than recovery, stressing incarnation-namespaced
+      // OperationIds and mid-recovery re-crash handling.
+      {"chtread", "crash-loop", "kv", 6, "crash-loop incarnation churn"},
+      {"vr", "crash-loop", "counter", 8, "crash-loop mid-recovery re-crash"},
   };
   return entries;
 }
@@ -79,6 +94,7 @@ TEST_P(ChaosCorpusTest, PinnedSeedStaysClean) {
   spec.object = entry.object;
   spec.seed = entry.seed;
   spec.ops = 40;
+  spec.unsynced_key_loss = entry.key_loss;
 
   const RunResult first = run_one(spec);
   EXPECT_TRUE(first.checker_decided) << entry.why;

@@ -61,5 +61,55 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 3u)),
     cell_name);
 
+// Key-loss extremes: the default sweep runs power cycles at
+// unsynced_key_loss = 0.5, which can mask bugs that only show at the
+// boundaries. 1.0 is the adversarial disk (every unsynced keyed write dies
+// with the crash — recovery must rebuild from the durable prefix alone);
+// 0.0 is the lucky disk (everything unsynced survives — recovery must not
+// be confused by state it never acknowledged). Both must stay linearizable
+// and durable on every stack.
+using LossCell = std::tuple<std::string, double, std::uint64_t>;
+
+class KeyLossExtremesTest : public ::testing::TestWithParam<LossCell> {};
+
+TEST_P(KeyLossExtremesTest, InvariantsHoldAtTheBoundary) {
+  const auto& [protocol, key_loss, seed] = GetParam();
+  chaos::RunSpec spec;
+  spec.protocol = protocol;
+  spec.profile = "power-cycle";
+  spec.seed = seed;
+  spec.ops = 40;
+  spec.unsynced_key_loss = key_loss;
+  const auto& objects = chaos::known_objects();
+  spec.object = objects[static_cast<std::size_t>(seed) % objects.size()];
+
+  const chaos::RunResult result = chaos::run_one(spec);
+  EXPECT_TRUE(result.checker_decided)
+      << "linearizability search exhausted its state budget";
+  std::string all;
+  for (const auto& v : result.violations) all += "\n  " + v;
+  EXPECT_TRUE(result.ok()) << "seed " << seed << " key_loss " << key_loss
+                           << " object " << spec.object << " violations:"
+                           << all;
+  EXPECT_GT(result.completed, 0u);
+}
+
+std::string loss_cell_name(const ::testing::TestParamInfo<LossCell>& info) {
+  std::string name = std::get<0>(info.param) +
+                     (std::get<1>(info.param) > 0.5 ? "_loss1" : "_loss0") +
+                     "_seed" + std::to_string(std::get<2>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossExtremes, KeyLossExtremesTest,
+    ::testing::Combine(::testing::ValuesIn(chaos::known_protocols()),
+                       ::testing::Values(0.0, 1.0),
+                       ::testing::Values(2u, 6u)),
+    loss_cell_name);
+
 }  // namespace
 }  // namespace cht

@@ -7,13 +7,16 @@
 // writes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "checker/linearizability.h"
 #include "harness/cluster.h"
 #include "harness/raft_cluster.h"
 #include "harness/vr_cluster.h"
+#include "leader/enhanced_leader.h"
 #include "object/register_object.h"
 #include "raft/raft.h"
 #include "vr/vr.h"
@@ -197,6 +200,101 @@ TEST(CrashRecoveryTest, VrRestartDuringViewChange) {
   cluster.submit(cluster.primary(), object::RegisterObject::read());
   ASSERT_TRUE(cluster.await_quiesce(Duration::seconds(10)));
   EXPECT_EQ(*cluster.history().ops().back().response, "v0");
+}
+
+// --- ELS counter persistence -----------------------------------------------
+
+// Hosts one enhanced-leader service whose believed leader the test controls;
+// a fresh incarnation recovers the persisted support counter on restart.
+class ElsRecoveryHost : public sim::Process {
+ public:
+  ElsRecoveryHost(leader::EnhancedLeaderConfig config, ProcessId believed)
+      : els_(*this, [this] { return believed_; }, config), believed_(believed) {}
+  void on_start() override { els_.start(); }
+  void on_restart() override { els_.recover(); }
+  void on_message(const sim::Message& message) override {
+    els_.handle_message(message);
+  }
+  void set_believed(ProcessId p) { believed_ = p; }
+
+ private:
+  leader::EnhancedLeaderService els_;
+  ProcessId believed_;
+};
+
+class GrantSink : public sim::Process {
+ public:
+  void on_message(const sim::Message& message) override {
+    grants.push_back(message.as<leader::SupportGrant>());
+  }
+  std::vector<leader::SupportGrant> grants;
+};
+
+TEST(CrashRecoveryTest, ElsCounterBumpLostInCrashNeverRegressesAnEpoch) {
+  // The supporter switches leaders and crashes while the counter bump's
+  // covering sync is still in flight; key_loss = 1.0 guarantees the
+  // unsynced counter write is gone on restart. Because the first grant
+  // after a bump only leaves once that sync completes, no delivered grant
+  // ever carries a counter the restart can forget — so the evidence
+  // AmLeader(t1, t2) builds from delivered grants never regresses: every
+  // post-restart grant uses a strictly larger counter and starts strictly
+  // after every pre-crash interval.
+  sim::SimulationConfig config;
+  config.seed = 41;
+  config.epsilon = Duration::zero();
+  config.network.gst = RealTime::zero();
+  config.network.delta = Duration::millis(1);
+  config.network.delta_min = Duration::micros(500);
+  config.storage.sync_latency = Duration::millis(4);
+  config.storage.unsynced_key_loss = 1.0;
+
+  leader::EnhancedLeaderConfig els_config;
+  els_config.support_interval = Duration::millis(5);
+  els_config.support_duration = Duration::millis(40);
+
+  sim::Simulation sim(config);
+  sim.add_process(
+      std::make_unique<ElsRecoveryHost>(els_config, ProcessId(1)));
+  sim.add_process(std::make_unique<GrantSink>());
+  sim.add_process(std::make_unique<GrantSink>());
+  sim.start();
+
+  // Grants to p1 flow once the first bump's covering sync completes (the
+  // per-process drawn latency is in [3ms, 5ms]); the counter is durable.
+  sim.run_until(RealTime::zero() + Duration::millis(31));
+  auto& p1 = sim.process_as<GrantSink>(ProcessId(1));
+  ASSERT_FALSE(p1.grants.empty());
+
+  // Switch to p2. The tick at t=35ms bumps the counter and requests a sync
+  // that completes no earlier than t=38ms; crashing at 36.5ms lands inside
+  // that window for every possible latency draw, so the bump write is lost
+  // and the pending grant dies with the incarnation.
+  sim.process_as<ElsRecoveryHost>(ProcessId(0)).set_believed(ProcessId(2));
+  sim.run_until(RealTime::zero() + Duration::micros(36'500));
+  sim.crash(ProcessId(0));
+  auto& p2 = sim.process_as<GrantSink>(ProcessId(2));
+  EXPECT_TRUE(p2.grants.empty())
+      << "a grant carrying an unsynced counter must never be delivered";
+
+  LocalTime pre_crash_max_end = LocalTime::min();
+  std::int64_t pre_crash_max_counter = 0;
+  for (const auto& g : p1.grants) {
+    pre_crash_max_end = std::max(pre_crash_max_end, g.end);
+    pre_crash_max_counter = std::max(pre_crash_max_counter, g.counter);
+  }
+
+  sim.restart(ProcessId(0),
+              std::make_unique<ElsRecoveryHost>(els_config, ProcessId(2)));
+  sim.run_until(sim.now() + Duration::millis(60));
+
+  ASSERT_FALSE(p2.grants.empty()) << "restarted supporter never granted";
+  for (const auto& g : p2.grants) {
+    EXPECT_GT(g.start, pre_crash_max_end)
+        << "a post-restart grant overlaps a pre-crash interval; AmLeader "
+           "could stitch the two incarnations together";
+    EXPECT_GT(g.counter, pre_crash_max_counter)
+        << "the recovered counter regressed below a delivered grant";
+  }
 }
 
 }  // namespace

@@ -169,6 +169,38 @@ TEST_P(DeterminismTwiceTest, RestartHeavyRunIsByteIdentical) {
   EXPECT_GT(first.result.restarts, 0);
 }
 
+// Crash-loop determinism: the crash-loop profile re-crashes the same victim
+// from nested timer closures (downtime/uptime draws interleaved with the
+// recovery protocols), the most event-ordering-sensitive path the nemesis
+// has. Any nondeterminism in the re-crash scheduling, the incarnation
+// counter, or the per-incarnation sync-continuation teardown shows up here.
+TEST_P(DeterminismTwiceTest, CrashLoopRunIsByteIdentical) {
+  chaos::RunSpec spec;
+  spec.protocol = GetParam();
+  spec.profile = "crash-loop";
+  spec.object = "kv";
+  spec.seed = 13;
+  spec.ops = 40;
+
+  const CapturedRun first = run_captured(spec);
+  const CapturedRun second = run_captured(spec);
+
+  EXPECT_EQ(first.result.fingerprint, second.result.fingerprint);
+  EXPECT_EQ(first.result.violations, second.result.violations);
+  EXPECT_EQ(first.result.crashes, second.result.crashes);
+  EXPECT_EQ(first.result.restarts, second.result.restarts);
+  EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
+  EXPECT_EQ(first.result.history, second.result.history);
+  EXPECT_EQ(first.artifact_bytes, second.artifact_bytes)
+      << "crash-loop repro artifact not byte-identical";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "crash-loop metrics not byte-identical";
+  EXPECT_GT(first.result.completed, 0u);
+  // The profile only earns its keep if the loop actually cycled: more
+  // crashes than distinct victims requires at least one re-crash.
+  EXPECT_GT(first.result.restarts, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStacks, DeterminismTwiceTest,
                          ::testing::ValuesIn(chaos::known_protocols()),
                          [](const ::testing::TestParamInfo<std::string>& info) {

@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cht::sim {
@@ -176,6 +177,95 @@ TEST(SimulationTest, ClockOffsetsWithinEpsilon) {
       EXPECT_GE(skew, Duration::zero() - config.epsilon);
     }
   }
+}
+
+TEST(SimulationTest, SyncStorageZeroLatencyRunsContinuationInline) {
+  Simulation sim(quick_config());
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  Process& p = sim.process(ProcessId(0));
+  bool ran = false;
+  p.sync_storage([&] { ran = true; });
+  EXPECT_TRUE(ran) << "zero-latency sync must not schedule an event";
+  EXPECT_EQ(sim.storage(ProcessId(0)).fsyncs(), 1);
+}
+
+TEST(SimulationTest, SyncStorageNonzeroLatencyDelaysContinuation) {
+  SimulationConfig config = quick_config();
+  config.storage.sync_latency = Duration::millis(4);
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  Process& p = sim.process(ProcessId(0));
+  const Duration lat = sim.storage(ProcessId(0)).effective_sync_latency();
+  RealTime done = RealTime::min();
+  p.storage().write("k", "v");
+  p.sync_storage([&] { done = sim.now(); });
+  // Durable at call time; the continuation waits out the latency.
+  EXPECT_FALSE(p.storage().dirty());
+  EXPECT_EQ(done, RealTime::min());
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  EXPECT_EQ(done, RealTime::zero() + lat);
+}
+
+TEST(SimulationTest, RequestSyncCoalescesAWindowIntoOneSync) {
+  SimulationConfig config = quick_config();
+  config.storage.sync_latency = Duration::millis(4);
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  Process& p = sim.process(ProcessId(0));
+  const Duration lat = sim.storage(ProcessId(0)).effective_sync_latency();
+  std::vector<std::pair<int, RealTime>> acks;
+  // First request opens a window; the two issued while its sync is in
+  // flight share one following sync and ack back-to-back as one burst.
+  p.request_sync([&] { acks.emplace_back(0, sim.now()); });
+  p.schedule_after(Duration::millis(1), [&] {
+    p.request_sync([&] { acks.emplace_back(1, sim.now()); });
+    p.request_sync([&] { acks.emplace_back(2, sim.now()); });
+  });
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  ASSERT_EQ(acks.size(), 3u);
+  EXPECT_EQ(acks[0].second, RealTime::zero() + lat);
+  EXPECT_EQ(acks[1].second, acks[2].second) << "one burst, one completion";
+  EXPECT_EQ(acks[1].second, RealTime::zero() + lat + lat);
+  // 3 requests, but only 2 fsyncs: the window coalesced the last two.
+  EXPECT_EQ(sim.storage(ProcessId(0)).fsyncs(), 2);
+}
+
+TEST(SimulationTest, RequestSyncWithoutGroupCommitSyncsEveryRequest) {
+  SimulationConfig config = quick_config();
+  config.storage.sync_latency = Duration::millis(4);
+  config.storage.group_commit = false;
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  Process& p = sim.process(ProcessId(0));
+  const Duration lat = sim.storage(ProcessId(0)).effective_sync_latency();
+  std::vector<RealTime> acks;
+  p.request_sync([&] { acks.push_back(sim.now()); });
+  p.request_sync([&] { acks.push_back(sim.now()); });
+  p.request_sync([&] { acks.push_back(sim.now()); });
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  ASSERT_EQ(acks.size(), 3u);
+  // Naive discipline: three syncs queue serially at the device.
+  EXPECT_EQ(acks[0], RealTime::zero() + lat);
+  EXPECT_EQ(acks[1], RealTime::zero() + lat + lat);
+  EXPECT_EQ(acks[2], RealTime::zero() + lat + lat + lat);
+  EXPECT_EQ(sim.storage(ProcessId(0)).fsyncs(), 3);
+}
+
+TEST(SimulationTest, PendingSyncContinuationsDieWithTheIncarnation) {
+  SimulationConfig config = quick_config();
+  config.storage.sync_latency = Duration::millis(4);
+  Simulation sim(config);
+  sim.add_process(std::make_unique<Probe>());
+  sim.start();
+  bool ran = false;
+  sim.process(ProcessId(0)).request_sync([&] { ran = true; });
+  sim.crash(ProcessId(0));
+  sim.run_until(RealTime::zero() + Duration::seconds(1));
+  EXPECT_FALSE(ran) << "a crashed incarnation's ack burst must never fire";
 }
 
 }  // namespace

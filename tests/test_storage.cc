@@ -164,6 +164,94 @@ TEST(StorageTest, FsyncCounterCountsSyncsOnly) {
   EXPECT_EQ(s.fsyncs(), 3);
 }
 
+TEST(StorageTest, PerProcessSyncLatencySpreadIsDeterministicAndBounded) {
+  StorageConfig config;
+  config.sync_latency = Duration::millis(10);
+  StableStorage a(42, 1, config);
+  StableStorage b(42, 1, config);
+  EXPECT_EQ(a.effective_sync_latency().to_micros(),
+            b.effective_sync_latency().to_micros());
+  const std::int64_t us = a.effective_sync_latency().to_micros();
+  EXPECT_GE(us, 7500);
+  EXPECT_LE(us, 12500);
+  // Different slots draw different factors from the same sim seed.
+  bool differs = false;
+  for (int i = 2; i < 8; ++i) {
+    StableStorage c(42, i, config);
+    if (c.effective_sync_latency() != a.effective_sync_latency()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs) << "per-process sync latencies should decorrelate";
+  // A zero base is exactly zero — the paper's instantaneous-sync model, and
+  // the guarantee that existing seeds replay unchanged.
+  StorageConfig zero;
+  EXPECT_EQ(StableStorage(42, 1, zero).effective_sync_latency(),
+            Duration::zero());
+}
+
+TEST(StorageTest, SyncCompletionQueuesAtTheSerialDevice) {
+  StorageConfig config;
+  config.sync_latency = Duration::millis(10);
+  StableStorage s(1, 0, config);
+  const std::int64_t lat = s.effective_sync_latency().to_micros();
+  const std::int64_t first = s.sync_completion_us(1000);
+  EXPECT_EQ(first, 1000 + lat);
+  // A sync issued while the first is in flight queues behind it.
+  const std::int64_t second = s.sync_completion_us(1000);
+  EXPECT_EQ(second, first + lat);
+  EXPECT_EQ(s.sync_stall_us(), (first - 1000) + (second - 1000));
+  // Once the device drains, a later sync pays only its own latency.
+  const std::int64_t third = s.sync_completion_us(second + 5000);
+  EXPECT_EQ(third, second + 5000 + lat);
+}
+
+TEST(StorageTest, CrashMidGroupCommitWindowLosesTheWholeUnflushedWindow) {
+  // The group-commit crash shape: records covered by a completed sync
+  // survive; every keyed write buffered for the still-pending covering sync
+  // dies together at key_loss = 1.0. No partially-durable window.
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/1.0);
+  s.write("promised", "t5");
+  s.sync();  // window 1's covering sync completed
+  s.write("promised", "t6");  // window 2: buffered, sync still in flight
+  s.write("estimate", "x");
+  s.lose_unsynced_writes();
+  EXPECT_EQ(s.read("promised"), std::optional<std::string>("t5"));
+  EXPECT_FALSE(s.read("estimate").has_value());
+}
+
+TEST(StorageTest, CrashMidWindowAtZeroLossKeepsTheBufferedWrites) {
+  // key_loss = 0.0 extreme: the crash tears nothing ("the page cache made
+  // it to the platter anyway") — recovery sees the full window despite the
+  // missing covering sync. Protocols must be correct in both worlds.
+  StableStorage s = make(/*seed=*/1, /*index=*/0, /*key_loss=*/0.0);
+  s.write("a", "1");
+  s.sync();
+  s.write("a", "2");
+  s.write("b", "3");
+  s.lose_unsynced_writes();
+  EXPECT_EQ(s.read("a"), std::optional<std::string>("2"));
+  EXPECT_EQ(s.read("b"), std::optional<std::string>("3"));
+}
+
+TEST(StorageTest, TornLogWindowNeverCutsBelowTheCoveringSync) {
+  // The coalesced batch replays appended during one group-commit window
+  // form an unsynced suffix; the crash cut lands inside that window only —
+  // batches covered by the last completed sync are untouchable.
+  StableStorage s = make(/*seed=*/9, /*index=*/4);
+  s.append("covered0");
+  s.append("covered1");
+  s.sync();
+  s.append("window0");
+  s.append("window1");
+  s.append("window2");
+  s.lose_unsynced_writes();
+  ASSERT_GE(s.log_size(), 2u);
+  ASSERT_LE(s.log_size(), 5u);
+  EXPECT_EQ(s.log()[0], "covered0");
+  EXPECT_EQ(s.log()[1], "covered1");
+}
+
 TEST(StorageCodecTest, EncodeDecodeRoundTrip) {
   const std::vector<std::string> fields = {
       "", "plain", "with:colon", std::string("\0binary\n", 8), "123"};

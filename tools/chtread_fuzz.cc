@@ -15,7 +15,8 @@
 //                [--seeds=200] [--seed-start=1] [--threads=0 (auto)]
 //                [--n=5] [--ops=80] [--read-fraction=0.5] [--key-skew=0.5]
 //                [--delta-ms=10] [--epsilon-ms=1] [--gst-ms=1000]
-//                [--loss=0.1] [--max-inflight=6] [--check-budget=500000]
+//                [--loss=0.1] [--sync-latency-us=5000] [--key-loss=0.5]
+//                [--group-commit=1] [--max-inflight=6] [--check-budget=500000]
 //                [--artifact-dir=.] [--metrics-out=PATH.json] [--verbose]
 //   chtread_fuzz --repro=<artifact-file>
 //
@@ -97,6 +98,12 @@ Options parse(int argc, char** argv) {
       options.base.gst_ms = std::stoll(value);
     } else if (parse_flag(arg, "loss", value)) {
       options.base.pre_gst_loss = std::stod(value);
+    } else if (parse_flag(arg, "sync-latency-us", value)) {
+      options.base.sync_latency_us = std::stoll(value);
+    } else if (parse_flag(arg, "key-loss", value)) {
+      options.base.unsynced_key_loss = std::stod(value);
+    } else if (parse_flag(arg, "group-commit", value)) {
+      options.base.group_commit = std::stoi(value) != 0;
     } else if (parse_flag(arg, "max-inflight", value)) {
       options.base.max_inflight = std::stoi(value);
     } else if (parse_flag(arg, "check-budget", value)) {
