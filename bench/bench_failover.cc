@@ -28,11 +28,15 @@ struct FailoverResult {
 };
 
 FailoverResult run(ExperimentResult& result, Duration crash_offset,
-                   std::uint64_t seed, bool observe) {
+                   std::uint64_t seed, bool observe,
+                   Duration sync_latency = Duration::zero(),
+                   bool group_commit = true) {
   harness::ClusterConfig config;
   config.n = 5;
   config.seed = seed;
   config.delta = kDelta;
+  config.storage.sync_latency = sync_latency;
+  config.storage.group_commit = group_commit;
   harness::Cluster cluster(config, std::make_shared<object::KVObject>());
   cluster.await_steady_leader(Duration::seconds(5));
   cluster.run_for(Duration::seconds(1));
@@ -206,6 +210,57 @@ int main(int argc, char** argv) {
       "Expected shape: ours is flat in k (Omega only proposes\n"
       "connected processes); VR grows by roughly one view-change\n"
       "timeout per partitioned successor.");
+  result.end();
+
+  result.begin(
+      "E7c: failover under real fsync cost",
+      "Companion to E6c's steady-state axis: the same sync-cost x discipline\n"
+      "grid, but measuring the failure path. The new leader's initialization\n"
+      "must persist its own records (estimates, the recovered batch) before\n"
+      "externalizing, so a nonzero fsync cost lands on the failover critical\n"
+      "path; group commit folds those records into covering syncs while the\n"
+      "naive discipline pays the device serially. Crash offset fixed at 9 ms\n"
+      "(mid-protocol, the most recovery work).");
+  result.columns({"sync cost", "discipline", "new leader (ms)",
+                  "write committed (ms)", "reads available (ms)",
+                  "in-flight write preserved"});
+  const std::vector<std::pair<std::string, Duration>> sync_axis =
+      result.smoke()
+          ? std::vector<std::pair<std::string, Duration>>{{"2*delta",
+                                                           2 * kDelta}}
+          : std::vector<std::pair<std::string, Duration>>{
+                {"0", Duration::zero()},
+                {"0.5*delta", Duration::micros(kDelta.to_micros() / 2)},
+                {"2*delta", 2 * kDelta}};
+  bool sync_axis_consistent = true;
+  for (const auto& [axis_label, sync_latency] : sync_axis) {
+    for (const bool group : {true, false}) {
+      const std::string discipline = group ? "group-commit" : "naive";
+      const auto r = run(result, Duration::millis(9),
+                         static_cast<std::uint64_t>(
+                             1100 + sync_latency.to_micros() / 1000 +
+                             (group ? 0 : 1)),
+                         /*observe=*/false, sync_latency, group);
+      sync_axis_consistent = sync_axis_consistent && r.consistent;
+      result.row({axis_label, discipline, ms2(r.new_leader_elected),
+                  ms2(r.write_completed), ms2(r.reads_available),
+                  r.consistent ? "yes" : "NO"});
+      const std::string suffix =
+          (group ? "_group" : "_naive") + std::string("_sync") +
+          std::to_string(sync_latency.to_micros());
+      result.metric("failover_write_committed_us" + suffix,
+                    r.write_completed.to_micros());
+      result.metric("failover_reads_available_us" + suffix,
+                    r.reads_available.to_micros());
+    }
+  }
+  result.metric("sync_axis_write_always_preserved",
+                static_cast<std::int64_t>(sync_axis_consistent ? 1 : 0));
+  result.note(
+      "Expected shape: the zero-cost rows match E7's 9 ms-offset row; at\n"
+      "nonzero cost failover stretches by a few fsyncs' worth, with\n"
+      "group commit strictly no slower than naive at 2*delta. The\n"
+      "in-flight write survives on every cell.");
   result.end();
   return result.finish();
 }

@@ -28,6 +28,9 @@ harness::ClusterConfig cluster_config(const RunSpec& spec) {
   config.storage.sync_latency = Duration::micros(spec.sync_latency_us);
   config.storage.unsynced_key_loss = spec.unsynced_key_loss;
   config.storage.group_commit = spec.group_commit;
+  // One networked client per replica slot: the driver's submit(i, op) then
+  // maps 1:1 onto client i, whose home replica is i.
+  config.clients = spec.client_path ? spec.n : 0;
   return config;
 }
 
@@ -52,19 +55,17 @@ class ChtreadAdapter final : public ClusterAdapter {
     cluster_.submit(process, std::move(op));
   }
   bool crashed(int process) const override {
+    if (process >= n()) return false;  // clients never crash
     return const_cast<harness::Cluster&>(cluster_).replica(process).crashed();
   }
   void restart(int process) override { cluster_.restart(process); }
-  std::vector<OperationId> committed_op_ids() override {
+  std::vector<OperationId> committed_op_ids_of(int replica) override {
     std::vector<OperationId> ids;
-    for (int i = 0; i < n(); ++i) {
-      if (cluster_.replica(i).crashed()) continue;
-      const auto snap = cluster_.replica(i).snapshot();
-      for (const auto& [k, batch] : snap.batches) {
-        if (k > snap.applied_upto) continue;
-        for (const auto& bop : batch) {
-          if (!model().is_read(bop.op)) ids.push_back(bop.id);
-        }
+    const auto snap = cluster_.replica(replica).snapshot();
+    for (const auto& [k, batch] : snap.batches) {
+      if (k > snap.applied_upto) continue;
+      for (const auto& bop : batch) {
+        if (!model().is_read(bop.op)) ids.push_back(bop.id);
       }
     }
     return ids;
@@ -150,21 +151,19 @@ class RaftAdapter final : public ClusterAdapter {
     cluster_.submit(process, std::move(op));
   }
   bool crashed(int process) const override {
+    if (process >= n()) return false;  // clients never crash
     return const_cast<harness::RaftCluster&>(cluster_)
         .replica(process)
         .crashed();
   }
   void restart(int process) override { cluster_.restart(process); }
-  std::vector<OperationId> committed_op_ids() override {
+  std::vector<OperationId> committed_op_ids_of(int replica) override {
     std::vector<OperationId> ids;
-    for (int i = 0; i < n(); ++i) {
-      auto& r = cluster_.replica(i);
-      if (r.crashed()) continue;
-      const auto& log = r.log();
-      const auto upto = static_cast<std::size_t>(r.commit_index());
-      for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
-        if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
-      }
+    auto& r = cluster_.replica(replica);
+    const auto& log = r.log();
+    const auto upto = static_cast<std::size_t>(r.commit_index());
+    for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
+      if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
     }
     return ids;
   }
@@ -220,12 +219,7 @@ class RaftAdapter final : public ClusterAdapter {
   }
 
   void merge_metrics_into(metrics::Registry& out) override {
-    for (int i = 0; i < n(); ++i) {
-      out.merge_from(cluster_.replica(i).metrics());
-      out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
-      out.add("sync_stall_us",
-              cluster_.sim().storage(ProcessId(i)).sync_stall_us());
-    }
+    cluster_.merge_metrics_into(out);
   }
 
  private:
@@ -253,23 +247,22 @@ class VrAdapter final : public ClusterAdapter {
     cluster_.submit(process, std::move(op));
   }
   bool crashed(int process) const override {
+    if (process >= n()) return false;  // clients never crash
     return const_cast<harness::VrCluster&>(cluster_).replica(process).crashed();
   }
   void restart(int process) override { cluster_.restart(process); }
   bool recovering(int process) const override {
+    if (process >= n()) return false;
     auto& r = const_cast<harness::VrCluster&>(cluster_).replica(process);
     return !r.crashed() && r.status() == vr::VrReplica::Status::kRecovering;
   }
-  std::vector<OperationId> committed_op_ids() override {
+  std::vector<OperationId> committed_op_ids_of(int replica) override {
     std::vector<OperationId> ids;
-    for (int i = 0; i < n(); ++i) {
-      auto& r = cluster_.replica(i);
-      if (r.crashed()) continue;
-      const auto& log = r.log();
-      const auto upto = static_cast<std::size_t>(r.commit_number());
-      for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
-        if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
-      }
+    auto& r = cluster_.replica(replica);
+    const auto& log = r.log();
+    const auto upto = static_cast<std::size_t>(r.commit_number());
+    for (std::size_t k = 0; k < upto && k < log.size(); ++k) {
+      if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
     }
     return ids;
   }
@@ -325,12 +318,7 @@ class VrAdapter final : public ClusterAdapter {
   }
 
   void merge_metrics_into(metrics::Registry& out) override {
-    for (int i = 0; i < n(); ++i) {
-      out.merge_from(cluster_.replica(i).metrics());
-      out.add("fsyncs", cluster_.sim().storage(ProcessId(i)).fsyncs());
-      out.add("sync_stall_us",
-              cluster_.sim().storage(ProcessId(i)).sync_stall_us());
-    }
+    cluster_.merge_metrics_into(out);
   }
 
  private:

@@ -36,6 +36,9 @@ class ClusterAdapter {
   // history (reads and RMWs routed per the protocol's client API).
   virtual void submit(int process, object::Operation op) = 0;
 
+  // Whether replica `process` is currently crashed. Indices at or beyond
+  // n() denote networked clients (spec.client_path), which the nemesis never
+  // crashes; implementations return false for them.
   virtual bool crashed(int process) const = 0;
 
   // Power-cycles crashed process `process` back up: a fresh replica instance
@@ -51,13 +54,27 @@ class ClusterAdapter {
   // budget blind to recovering nodes can legally drive every replica into
   // recovery — a permanent deadlock (nobody normal is left to respond), not
   // an implementation bug. Found by the power-cycle sweep, seed 4.
-  virtual bool recovering(int process) const { return false; }
+  virtual bool recovering(int /*process*/) const { return false; }
 
-  // Ids of committed non-read operations, unioned over all currently-live
-  // replicas: applied-batch contents (chtread), the log prefix up to
-  // commit_index (raft) or commit_number (vr). The durability invariant
-  // checks every acknowledged write's id is in here after the run.
-  virtual std::vector<OperationId> committed_op_ids() = 0;
+  // Ids of committed non-read operations at one replica, in the protocol's
+  // commit order: applied-batch contents (chtread), the log prefix up to
+  // commit_index (raft) or commit_number (vr). The exactly-once invariant
+  // counts per-id occurrences in this sequence — an acked RMW appearing
+  // twice at one replica means a retry was applied twice.
+  virtual std::vector<OperationId> committed_op_ids_of(int replica) = 0;
+
+  // Union over all currently-live (not crashed, not recovering) replicas.
+  // The durability invariant checks every acknowledged write's id is in
+  // here after the run.
+  virtual std::vector<OperationId> committed_op_ids() {
+    std::vector<OperationId> ids;
+    for (int i = 0; i < n(); ++i) {
+      if (crashed(i) || recovering(i)) continue;
+      std::vector<OperationId> one = committed_op_ids_of(i);
+      ids.insert(ids.end(), one.begin(), one.end());
+    }
+    return ids;
+  }
 
   // The protocol's current notion of "the leader": steady leader (chtread),
   // highest-term leader (raft), normal-status primary (vr); -1 if none.
@@ -82,6 +99,58 @@ class ClusterAdapter {
   virtual void merge_metrics_into(metrics::Registry& out) = 0;
 
   void run_for(Duration d) { sim().run_until(sim().now() + d); }
+};
+
+// Decorator base for adapter wrappers: owns an inner adapter and forwards
+// every virtual. Derive and override only what you need (fault injection in
+// chaos/evil.h, metrics capture in tests and benches) — new ClusterAdapter
+// virtuals then flow through existing decorators automatically.
+class ForwardingAdapter : public ClusterAdapter {
+ public:
+  explicit ForwardingAdapter(std::unique_ptr<ClusterAdapter> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& protocol() const override { return inner_->protocol(); }
+  sim::Simulation& sim() override { return inner_->sim(); }
+  int n() const override { return inner_->n(); }
+  const object::ObjectModel& model() const override { return inner_->model(); }
+  checker::HistoryRecorder& history() override { return inner_->history(); }
+  void submit(int process, object::Operation op) override {
+    inner_->submit(process, std::move(op));
+  }
+  bool crashed(int process) const override { return inner_->crashed(process); }
+  void restart(int process) override { inner_->restart(process); }
+  bool recovering(int process) const override {
+    return inner_->recovering(process);
+  }
+  std::vector<OperationId> committed_op_ids_of(int replica) override {
+    return inner_->committed_op_ids_of(replica);
+  }
+  std::vector<OperationId> committed_op_ids() override {
+    return inner_->committed_op_ids();
+  }
+  int leader() override { return inner_->leader(); }
+  bool await_quiesce(Duration timeout) override {
+    return inner_->await_quiesce(timeout);
+  }
+  std::size_t submitted() const override { return inner_->submitted(); }
+  std::size_t completed() const override { return inner_->completed(); }
+  std::vector<std::string> protocol_invariants() override {
+    return inner_->protocol_invariants();
+  }
+  std::int64_t leadership_changes() override {
+    return inner_->leadership_changes();
+  }
+  void merge_metrics_into(metrics::Registry& out) override {
+    inner_->merge_metrics_into(out);
+  }
+
+ protected:
+  ClusterAdapter& inner() { return *inner_; }
+  const ClusterAdapter& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<ClusterAdapter> inner_;
 };
 
 // Builds the adapter named by spec.protocol (see known_protocols()) over the

@@ -4,7 +4,7 @@ namespace cht::chaos {
 
 EvilAdapter::EvilAdapter(std::unique_ptr<ClusterAdapter> inner,
                          int stale_every)
-    : inner_(std::move(inner)), stale_every_(stale_every) {
+    : ForwardingAdapter(std::move(inner)), stale_every_(stale_every) {
   frozen_state_ = model().make_initial_state();
 }
 
@@ -20,7 +20,7 @@ void EvilAdapter::submit(int process, object::Operation op) {
     ++stale_served_;
     return;
   }
-  inner_->submit(process, std::move(op));
+  inner().submit(process, std::move(op));
 }
 
 }  // namespace cht::chaos

@@ -23,49 +23,22 @@
 
 namespace cht::chaos {
 
-class EvilAdapter final : public ClusterAdapter {
+class EvilAdapter final : public ForwardingAdapter {
  public:
   // Serves every `stale_every`-th read from the frozen initial state.
   EvilAdapter(std::unique_ptr<ClusterAdapter> inner, int stale_every = 3);
 
-  const std::string& protocol() const override { return inner_->protocol(); }
-  sim::Simulation& sim() override { return inner_->sim(); }
-  int n() const override { return inner_->n(); }
-  const object::ObjectModel& model() const override { return inner_->model(); }
-  checker::HistoryRecorder& history() override { return inner_->history(); }
   void submit(int process, object::Operation op) override;
-  bool crashed(int process) const override { return inner_->crashed(process); }
-  void restart(int process) override { inner_->restart(process); }
-  bool recovering(int process) const override {
-    return inner_->recovering(process);
-  }
-  std::vector<OperationId> committed_op_ids() override {
-    return inner_->committed_op_ids();
-  }
-  int leader() override { return inner_->leader(); }
-  bool await_quiesce(Duration timeout) override {
-    return inner_->await_quiesce(timeout);
-  }
   std::size_t submitted() const override {
-    return inner_->submitted() + stale_served_;
+    return inner().submitted() + stale_served_;
   }
   std::size_t completed() const override {
-    return inner_->completed() + stale_served_;
-  }
-  std::vector<std::string> protocol_invariants() override {
-    return inner_->protocol_invariants();
-  }
-  std::int64_t leadership_changes() override {
-    return inner_->leadership_changes();
-  }
-  void merge_metrics_into(metrics::Registry& out) override {
-    inner_->merge_metrics_into(out);
+    return inner().completed() + stale_served_;
   }
 
   std::size_t stale_served() const { return stale_served_; }
 
  private:
-  std::unique_ptr<ClusterAdapter> inner_;
   int stale_every_;
   int reads_seen_ = 0;
   std::size_t stale_served_ = 0;

@@ -1,5 +1,6 @@
 #include "chaos/invariants.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -45,6 +46,33 @@ InvariantReport check_invariants(ClusterAdapter& cluster,
         os << "durability: acked write " << op.id << " (" << op.op
            << ") is no longer committed on any live replica";
         violations.push_back(os.str());
+      }
+    }
+  }
+
+  // Exactly-once: no acknowledged RMW was applied twice. Client retries
+  // re-send an operation under the same session id (possibly to several
+  // replicas across leader changes); the replica-side session/dedup tables
+  // must collapse them to a single log/batch entry. Counted per replica so a
+  // duplicate is caught even if the duplicated sequence is consistent
+  // cluster-wide.
+  {
+    std::set<OperationId> acked;
+    for (const auto& op : cluster.history().ops()) {
+      if (!op.completed() || cluster.model().is_read(op.op)) continue;
+      if (op.id.process.valid()) acked.insert(op.id);
+    }
+    for (int i = 0; i < cluster.n(); ++i) {
+      if (cluster.crashed(i) || cluster.recovering(i)) continue;
+      std::map<OperationId, int> seen;
+      for (const OperationId& id : cluster.committed_op_ids_of(i)) {
+        if (!acked.contains(id)) continue;
+        if (++seen[id] == 2) {
+          std::ostringstream os;
+          os << "exactly-once: acked RMW " << id
+             << " applied twice at replica p" << i;
+          violations.push_back(os.str());
+        }
       }
     }
   }

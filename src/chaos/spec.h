@@ -42,6 +42,14 @@ struct RunSpec {
   double unsynced_key_loss = 0.5;
   bool group_commit = true;
 
+  // Networked client path (src/client/): when true (the default), the
+  // harness adds n client processes and every workload operation travels
+  // through one of them — over the simulated network, with timeouts,
+  // exactly-once retries, Redirect-chasing and replica-side session dedup
+  // all under the nemesis. false = legacy colocated submission (ops injected
+  // directly at replica slots), kept for old corpus pins and A/B runs.
+  bool client_path = true;
+
   // Workload shape.
   int ops = 80;
   double read_fraction = 0.5;

@@ -112,7 +112,12 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
       cluster.run_for(Duration::millis(spec.op_gap_max_ms));
     }
     const bool pre_gst = cluster.sim().now() < cluster.sim().network().config().gst;
-    if (!cluster.crashed(process)) cluster.submit(process, op);
+    // On the client path the slot's client is alive regardless of replica
+    // crashes (it retries elsewhere); without it, submission is colocated
+    // with the replica and a crashed slot cannot accept work.
+    if (spec.client_path || !cluster.crashed(process)) {
+      cluster.submit(process, op);
+    }
     // Slower pacing while the network is asynchronous bounds the concurrency
     // the checker must untangle (same discipline as the original chaos
     // suites).
@@ -186,6 +191,7 @@ bool write_artifact(const std::string& path, const RunResult& result) {
       << "sync_latency_us=" << s.sync_latency_us << "\n"
       << "unsynced_key_loss=" << format_double(s.unsynced_key_loss) << "\n"
       << "group_commit=" << (s.group_commit ? 1 : 0) << "\n"
+      << "client_path=" << (s.client_path ? 1 : 0) << "\n"
       << "ops=" << s.ops << "\n"
       << "read_fraction=" << format_double(s.read_fraction) << "\n"
       << "key_skew=" << format_double(s.key_skew) << "\n"
@@ -214,6 +220,9 @@ std::optional<Artifact> load_artifact(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   Artifact artifact;
+  // Artifacts written before the client path existed carry no client_path
+  // key; they must replay as the legacy colocated runs they recorded.
+  artifact.spec.client_path = false;
   bool saw_protocol = false;
   std::string line;
   while (std::getline(in, line)) {
@@ -236,6 +245,7 @@ std::optional<Artifact> load_artifact(const std::string& path) {
     else if (key == "sync_latency_us") s.sync_latency_us = std::stoll(value);
     else if (key == "unsynced_key_loss") s.unsynced_key_loss = std::stod(value);
     else if (key == "group_commit") s.group_commit = std::stoi(value) != 0;
+    else if (key == "client_path") s.client_path = std::stoi(value) != 0;
     else if (key == "ops") s.ops = std::stoi(value);
     else if (key == "read_fraction") s.read_fraction = std::stod(value);
     else if (key == "key_skew") s.key_skew = std::stod(value);

@@ -53,7 +53,26 @@ Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
       config_(config),
       omega_(*this, config_.omega),
       els_(*this, [this] { return omega_.leader(); }, config_.els),
-      metrics_(config_.metrics_enabled) {
+      metrics_(config_.metrics_enabled),
+      gateway_(*this, &metrics_) {
+  client::ReplicaGateway::Hooks hooks;
+  // Any chtread replica accepts RMWs: rmw_send forwards them to the believed
+  // leader with retries, so the client never needs to find the leader itself.
+  hooks.accepts_rmw = [] { return true; };
+  hooks.is_leader = [this] { return is_steady_leader(); };
+  hooks.leader_hint = [this] { return els_.believed_leader().index(); };
+  // Plain reads are served locally (the paper's lease-read fast path).
+  hooks.local_reads = true;
+  hooks.submit_rmw = [this](const OperationId& id,
+                            const object::Operation& op) {
+    submit_rmw_as(id, op);
+  };
+  hooks.submit_read = [this](const object::Operation& op,
+                             std::function<void(std::string)> done) {
+    submit_read(op,
+                [done = std::move(done)](const object::Response& r) { done(r); });
+  };
+  gateway_.set_hooks(std::move(hooks));
   // Register every metric up front: the record path then only touches
   // pre-allocated storage, and exported artifacts list the full inventory
   // even for phases that never ran.
@@ -97,23 +116,6 @@ Replica::Snapshot Replica::snapshot() {
   s.pending_reads = pending_reads_.size();
   s.pending_rmws = pending_rmw_.size();
   s.forwarded_reads = forwarded_reads_.size();
-  return s;
-}
-
-Replica::Stats Replica::stats_from_registry() const {
-  Stats s;
-  s.rmws_submitted = metrics_.value("rmws_submitted");
-  s.rmws_completed = metrics_.value("rmws_completed");
-  s.reads_submitted = metrics_.value("reads_submitted");
-  s.reads_completed = metrics_.value("reads_completed");
-  s.reads_blocked = metrics_.value("reads_blocked");
-  s.batches_committed_as_leader = metrics_.value("batches_committed_as_leader");
-  s.became_leader = metrics_.value("became_leader");
-  s.abdicated = metrics_.value("abdicated");
-  if (const auto* h = metrics_.find_histogram("span.read.block_us")) {
-    s.max_read_block = Duration::micros(h->max());
-    s.total_read_block = Duration::micros(h->sum());
-  }
   return s;
 }
 
@@ -189,6 +191,21 @@ OperationId Replica::submit_rmw(object::Operation op, Callback callback) {
   (void)it;
   rmw_send(id);
   return id;
+}
+
+void Replica::submit_rmw_as(const OperationId& id, object::Operation op,
+                            Callback callback) {
+  CHT_ASSERT(!model_->is_read(op), "submit_rmw_as called with a read operation");
+  // Already committed here: the batch will (or did) reach the apply path,
+  // which answers the gateway waiter; nothing to inject.
+  if (committed_op_batch_.contains(id)) return;
+  auto [it, inserted] = pending_rmw_.try_emplace(
+      id,
+      PendingRmw{std::move(op), std::move(callback), sim::EventHandle()});
+  if (!inserted) return;  // a retry of an id this replica is already pushing
+  (void)it;
+  c_rmws_submitted_->inc();
+  rmw_send(id);
 }
 
 void Replica::rmw_send(const OperationId& id) {
@@ -742,6 +759,7 @@ void Replica::maybe_start_next_batch() {
 void Replica::on_message(const sim::Message& message) {
   if (omega_.handle_message(message)) return;
   if (els_.handle_message(message)) return;
+  if (gateway_.handle(message)) return;
 
   if (message.is(msg::kRmwRequest)) {
     on_rmw_request(message.from, message.as<msg::RmwRequest>());
@@ -977,7 +995,13 @@ void Replica::apply_ready() {
     // same pre-determined order at every process.
     for (const BatchOp& op : it->second) {
       const object::Response response = model_->apply(*state_, op.op);
-      if (op.id.process == id()) complete_rmw(op.id, response);
+      // Unconditional: pending_rmw_ may hold client-session ids injected via
+      // submit_rmw_as, not just this replica's own ids.
+      complete_rmw(op.id, response);
+      // Every applied RMW feeds the client session table (in apply order, at
+      // every replica — including crash-recovery replay, which is what
+      // rebuilds it).
+      gateway_.on_applied(op.id, response);
     }
     ++applied_upto_;
     pending_batch_.erase(applied_upto_);

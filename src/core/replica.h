@@ -35,6 +35,7 @@
 #include <set>
 #include <vector>
 
+#include "client/gateway.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "core/config.h"
@@ -59,7 +60,17 @@ class Replica : public sim::Process {
   // submit_rmw returns the operation's protocol-level id so harnesses can
   // later ask "did this acknowledged write survive" (durability checking).
   OperationId submit_rmw(object::Operation op, Callback callback);
+  // Networked-client entry point: submits an RMW under a caller-chosen id
+  // (the client's session id, stable across retries). Duplicate ids — ones
+  // already pending or already committed here — are ignored, which is what
+  // makes client retries safe to re-inject.
+  void submit_rmw_as(const OperationId& id, object::Operation op,
+                     Callback callback = nullptr);
   void submit_read(object::Operation op, Callback callback);
+
+  // Replica-side endpoint for networked clients (src/client/). Wired with
+  // chtread-specific hooks in the constructor; exposed for tests.
+  client::ReplicaGateway& client_gateway() { return gateway_; }
 
   // --- sim::Process ---------------------------------------------------------
   void on_start() override;
@@ -104,31 +115,12 @@ class Replica : public sim::Process {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
-  // Transitional shim: these counters now live in metrics(). Reconstructs
-  // the old value struct from the registry.
-  struct Stats {
-    std::int64_t rmws_submitted = 0;
-    std::int64_t rmws_completed = 0;
-    std::int64_t reads_submitted = 0;
-    std::int64_t reads_completed = 0;
-    std::int64_t reads_blocked = 0;  // did not complete inside submit_read
-    Duration max_read_block = Duration::zero();
-    Duration total_read_block = Duration::zero();
-    std::int64_t batches_committed_as_leader = 0;
-    std::int64_t became_leader = 0;
-    std::int64_t abdicated = 0;
-  };
-  [[deprecated("read the metrics() registry (counters/span histograms)")]]
-  Stats stats() const { return stats_from_registry(); }
-
   const object::ObjectState& applied_state() const { return *state_; }
   const object::ObjectModel& model() const { return *model_; }
   leader::EnhancedLeaderService& leader_service() { return els_; }
   const Config& config() const { return config_; }
 
  private:
-  Stats stats_from_registry() const;
-
   // --- Leader state machine -------------------------------------------------
   struct DoOpsState {
     Batch ops;
@@ -256,6 +248,9 @@ class Replica : public sim::Process {
   metrics::Span span_recovery_;         // restart -> first live-protocol sign
   // Ends a protocol-phase span and mirrors it into sim::Trace.
   void end_span(metrics::Span& span, const char* name);
+
+  // --- Networked-client endpoint (declared after metrics_: ctor order) ---
+  client::ReplicaGateway gateway_;
 
   // --- Persistent per-process algorithm state (all three threads) ---
   std::map<BatchNumber, Batch> batches_;                    // Batch[]

@@ -9,11 +9,13 @@ Cluster::Cluster(ClusterConfig config,
       model_(std::move(model)),
       overrides_(std::move(overrides)),
       core_config_(core::Config::defaults_for(config.delta, config.epsilon)),
-      sim_(config.to_sim_config()) {
+      sim_(config.to_sim_config()),
+      clients_(sim_) {
   overrides_.apply(core_config_);
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(std::make_unique<core::Replica>(model_, core_config_));
   }
+  clients_.populate(config_);
   sim_.start();
 }
 
@@ -24,15 +26,47 @@ void Cluster::merge_metrics_into(metrics::Registry& out) {
     // fsync count is merged here rather than in the replica registry.
     out.add("fsyncs", sim_.storage(ProcessId(i)).fsyncs());
     out.add("sync_stall_us", sim_.storage(ProcessId(i)).sync_stall_us());
+    // Batch sizes of completed flushes: how wide group commit actually ran.
+    metrics::Histogram& widths = out.histogram("storage.flush_width");
+    for (const auto& [width, count] : sim_.storage(ProcessId(i)).flush_widths()) {
+      for (std::int64_t c = 0; c < count; ++c) {
+        widths.record(static_cast<std::int64_t>(width));
+      }
+    }
   }
+  clients_.merge_metrics_into(out);
 }
 
 void Cluster::submit(int i, object::Operation op,
                      core::Replica::Callback user_callback) {
+  ++submitted_;
+  if (clients_.enabled()) {
+    client::Client& via = clients_.for_slot(i);
+    const bool is_read = model_->is_read(op);
+    // Invocation is recorded at dispatch (first wire send), not enqueue:
+    // the client's internal queue is not observable concurrency, and the
+    // reply always arrives after dispatch, so the token is set by then.
+    const auto token = std::make_shared<checker::HistoryRecorder::Token>();
+    const ProcessId pid = via.id();
+    object::Operation recorded = op;  // hook's copy; `op` moves into submit
+    via.submit(
+        std::move(op), is_read,
+        [this, token, user_callback = std::move(user_callback)](
+            const OperationId&, const std::string& response) {
+          history_.end(*token, response, sim_.now());
+          ++completed_;
+          if (user_callback) user_callback(response);
+        },
+        [this, token, pid, is_read,
+         recorded = std::move(recorded)](const OperationId& cid) {
+          *token = history_.begin(pid, recorded, sim_.now());
+          if (!is_read) history_.set_id(*token, cid);
+        });
+    return;
+  }
   core::Replica& target = replica(i);
   const auto token =
       history_.begin(ProcessId(i), op, sim_.now());
-  ++submitted_;
   auto callback = [this, token, user_callback = std::move(user_callback)](
                       const object::Response& response) {
     history_.end(token, response, sim_.now());

@@ -9,37 +9,16 @@
 #include "checker/history.h"
 #include "core/config.h"
 #include "core/replica.h"
+#include "harness/client_pool.h"
+#include "harness/common_config.h"
 #include "object/object.h"
 #include "sim/simulation.h"
 
 namespace cht::harness {
 
-struct ClusterConfig {
-  int n = 5;
-  std::uint64_t seed = 1;
-  Duration delta = Duration::millis(10);
-  Duration epsilon = Duration::millis(1);
-  // Real time at which the system stabilizes (0 = synchronous from start).
-  RealTime gst = RealTime::zero();
-  double pre_gst_loss = 0.05;
-  Duration pre_gst_delay_max = Duration::millis(200);
-  // Stable-storage model (fsync latency, crash-time loss, group commit).
-  sim::StorageConfig storage;
-
-  sim::SimulationConfig to_sim_config() const {
-    sim::SimulationConfig sc;
-    sc.seed = seed;
-    sc.epsilon = epsilon;
-    sc.storage = storage;
-    sc.network.gst = gst;
-    sc.network.delta = delta;
-    sc.network.delta_min = Duration::micros(
-        std::max<std::int64_t>(1, delta.to_micros() / 20));
-    sc.network.pre_gst_loss_probability = pre_gst_loss;
-    sc.network.pre_gst_delay_max = pre_gst_delay_max;
-    return sc;
-  }
-};
+// All knobs live in CommonConfig (shared verbatim by the Raft and VR
+// harnesses); the alias-struct keeps the historical name at call sites.
+struct ClusterConfig : CommonConfig {};
 
 class Cluster {
  public:
@@ -61,14 +40,21 @@ class Cluster {
   const core::Config& core_config() const { return core_config_; }
   const core::ConfigOverrides& overrides() const { return overrides_; }
 
-  // Merges all replicas' registries (name-matched) into `out`, giving one
-  // cluster-wide observability view.
+  // Merges all replicas' (and clients', when enabled) registries
+  // (name-matched) into `out`, giving one cluster-wide observability view.
   void merge_metrics_into(metrics::Registry& out);
 
   // Submits an operation via process i, recording it in the history. The
-  // optional callback also receives the response (after recording).
+  // optional callback also receives the response (after recording). With
+  // config.clients > 0 the operation instead travels through a networked
+  // client (slot i picks client i % clients) and the history records the
+  // client's ProcessId and session OperationId.
   void submit(int i, object::Operation op,
               core::Replica::Callback callback = nullptr);
+
+  // The networked clients (valid indices: 0 .. config().clients - 1).
+  client::Client& client(int j) { return clients_.client(j); }
+  bool client_path() const { return clients_.enabled(); }
 
   // Power-cycles crashed process i back up: builds a fresh Replica over the
   // same model/config and hands it to Simulation::restart, which reattaches
@@ -96,6 +82,7 @@ class Cluster {
   core::ConfigOverrides overrides_;
   core::Config core_config_;
   sim::Simulation sim_;
+  ClientPool clients_;
   checker::HistoryRecorder history_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;

@@ -8,19 +8,41 @@ RaftCluster::RaftCluster(ClusterConfig config,
     : config_(config),
       model_(std::move(model)),
       raft_config_(raft::RaftConfig::defaults_for(config.delta)),
-      sim_(config.to_sim_config()) {
+      sim_(config.to_sim_config()),
+      clients_(sim_) {
   raft_config_.read_mode = read_mode;
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(
         std::make_unique<raft::RaftReplica>(model_, raft_config_));
   }
+  clients_.populate(config_);
   sim_.start();
 }
 
 void RaftCluster::submit(int i, object::Operation op) {
+  ++submitted_;
+  if (clients_.enabled()) {
+    client::Client& via = clients_.for_slot(i);
+    const bool is_read = model_->is_read(op);
+    // Invocation recorded at dispatch, not enqueue — see Cluster::submit.
+    const auto token = std::make_shared<checker::HistoryRecorder::Token>();
+    const ProcessId pid = via.id();
+    object::Operation recorded = op;  // hook's copy; `op` moves into submit
+    via.submit(
+        std::move(op), is_read,
+        [this, token](const OperationId&, const std::string& response) {
+          history_.end(*token, response, sim_.now());
+          ++completed_;
+        },
+        [this, token, pid, is_read,
+         recorded = std::move(recorded)](const OperationId& cid) {
+          *token = history_.begin(pid, recorded, sim_.now());
+          if (!is_read) history_.set_id(*token, cid);
+        });
+    return;
+  }
   raft::RaftReplica& target = replica(i);
   const auto token = history_.begin(ProcessId(i), op, sim_.now());
-  ++submitted_;
   auto callback = [this, token](const object::Response& response) {
     history_.end(token, response, sim_.now());
     ++completed_;
@@ -31,6 +53,21 @@ void RaftCluster::submit(int i, object::Operation op) {
     history_.set_id(token,
                     target.submit_rmw(std::move(op), std::move(callback)));
   }
+}
+
+void RaftCluster::merge_metrics_into(metrics::Registry& out) {
+  for (int i = 0; i < config_.n; ++i) {
+    out.merge_from(replica(i).metrics());
+    out.add("fsyncs", sim_.storage(ProcessId(i)).fsyncs());
+    out.add("sync_stall_us", sim_.storage(ProcessId(i)).sync_stall_us());
+    metrics::Histogram& widths = out.histogram("storage.flush_width");
+    for (const auto& [width, count] : sim_.storage(ProcessId(i)).flush_widths()) {
+      for (std::int64_t c = 0; c < count; ++c) {
+        widths.record(static_cast<std::int64_t>(width));
+      }
+    }
+  }
+  clients_.merge_metrics_into(out);
 }
 
 void RaftCluster::restart(int i) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "checker/history.h"
+#include "harness/client_pool.h"
 #include "harness/cluster.h"  // ClusterConfig
 #include "object/object.h"
 #include "raft/raft.h"
@@ -27,7 +28,15 @@ class RaftCluster {
   checker::HistoryRecorder& history() { return history_; }
   const raft::RaftConfig& raft_config() const { return raft_config_; }
 
+  // With config.clients > 0 the operation travels through a networked
+  // client (slot i picks client i % clients); see harness::Cluster::submit.
   void submit(int i, object::Operation op);
+  client::Client& client(int j) { return clients_.client(j); }
+  bool client_path() const { return clients_.enabled(); }
+
+  // Merges all replicas' (and clients', when enabled) registries plus
+  // storage counters into `out`; mirrors harness::Cluster.
+  void merge_metrics_into(metrics::Registry& out);
   // Power-cycles crashed process i back up with a fresh RaftReplica over
   // slot i's surviving StableStorage (term/vote/log replay in on_restart).
   void restart(int i);
@@ -44,6 +53,7 @@ class RaftCluster {
   std::shared_ptr<const object::ObjectModel> model_;
   raft::RaftConfig raft_config_;
   sim::Simulation sim_;
+  ClientPool clients_;
   checker::HistoryRecorder history_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;

@@ -7,17 +7,39 @@ VrCluster::VrCluster(ClusterConfig config,
     : config_(config),
       model_(std::move(model)),
       vr_config_(vr::VrConfig::defaults_for(config.delta)),
-      sim_(config.to_sim_config()) {
+      sim_(config.to_sim_config()),
+      clients_(sim_) {
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(std::make_unique<vr::VrReplica>(model_, vr_config_));
   }
+  clients_.populate(config_);
   sim_.start();
 }
 
 void VrCluster::submit(int i, object::Operation op) {
+  ++submitted_;
+  if (clients_.enabled()) {
+    client::Client& via = clients_.for_slot(i);
+    const bool is_read = model_->is_read(op);
+    // Invocation recorded at dispatch, not enqueue — see Cluster::submit.
+    const auto token = std::make_shared<checker::HistoryRecorder::Token>();
+    const ProcessId pid = via.id();
+    object::Operation recorded = op;  // hook's copy; `op` moves into submit
+    via.submit(
+        std::move(op), is_read,
+        [this, token](const OperationId&, const std::string& response) {
+          history_.end(*token, response, sim_.now());
+          ++completed_;
+        },
+        [this, token, pid, is_read,
+         recorded = std::move(recorded)](const OperationId& cid) {
+          *token = history_.begin(pid, recorded, sim_.now());
+          if (!is_read) history_.set_id(*token, cid);
+        });
+    return;
+  }
   const auto token = history_.begin(ProcessId(i), op, sim_.now());
   const bool is_read = model_->is_read(op);
-  ++submitted_;
   const OperationId id =
       replica(i).submit(std::move(op),
                         [this, token](const object::Response& response) {
@@ -27,6 +49,21 @@ void VrCluster::submit(int i, object::Operation op) {
   // Reads travel through the VR log too, but durability accounting only
   // joins on writes; keep read ids off the history like the other stacks.
   if (!is_read) history_.set_id(token, id);
+}
+
+void VrCluster::merge_metrics_into(metrics::Registry& out) {
+  for (int i = 0; i < config_.n; ++i) {
+    out.merge_from(replica(i).metrics());
+    out.add("fsyncs", sim_.storage(ProcessId(i)).fsyncs());
+    out.add("sync_stall_us", sim_.storage(ProcessId(i)).sync_stall_us());
+    metrics::Histogram& widths = out.histogram("storage.flush_width");
+    for (const auto& [width, count] : sim_.storage(ProcessId(i)).flush_widths()) {
+      for (std::int64_t c = 0; c < count; ++c) {
+        widths.record(static_cast<std::int64_t>(width));
+      }
+    }
+  }
+  clients_.merge_metrics_into(out);
 }
 
 void VrCluster::restart(int i) {

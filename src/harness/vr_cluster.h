@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "checker/history.h"
+#include "harness/client_pool.h"
 #include "harness/cluster.h"  // ClusterConfig
 #include "object/object.h"
 #include "sim/simulation.h"
@@ -26,7 +27,15 @@ class VrCluster {
   checker::HistoryRecorder& history() { return history_; }
   const vr::VrConfig& vr_config() const { return vr_config_; }
 
+  // With config.clients > 0 the operation travels through a networked
+  // client (slot i picks client i % clients); see harness::Cluster::submit.
   void submit(int i, object::Operation op);
+  client::Client& client(int j) { return clients_.client(j); }
+  bool client_path() const { return clients_.enabled(); }
+
+  // Merges all replicas' (and clients', when enabled) registries plus
+  // storage counters into `out`; mirrors harness::Cluster.
+  void merge_metrics_into(metrics::Registry& out);
   // Power-cycles crashed process i back up with a fresh VrReplica; recovery
   // runs VR Revisited's storage-free nonce protocol (vr.h, on_restart).
   void restart(int i);
@@ -43,6 +52,7 @@ class VrCluster {
   std::shared_ptr<const object::ObjectModel> model_;
   vr::VrConfig vr_config_;
   sim::Simulation sim_;
+  ClientPool clients_;
   checker::HistoryRecorder history_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;

@@ -36,12 +36,33 @@ LogEntry decode_entry(const std::string& record) {
 
 RaftReplica::RaftReplica(std::shared_ptr<const object::ObjectModel> model,
                          RaftConfig config)
-    : model_(std::move(model)), config_(config) {
+    : model_(std::move(model)), config_(config), gateway_(*this, &metrics_) {
   span_election_ = metrics::Span(&metrics_.histogram("span.election_us"));
   h_readindex_round_ = &metrics_.histogram("span.readindex.round_us");
   c_recoveries_ = &metrics_.counter("recoveries");
   c_recovered_entries_ = &metrics_.counter("recovery_log_replayed");
   span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
+
+  client::ReplicaGateway::Hooks hooks;
+  hooks.accepts_rmw = [this] { return role_ == Role::kLeader; };
+  hooks.is_leader = [this] { return role_ == Role::kLeader; };
+  hooks.leader_hint = [this] {
+    return role_ == Role::kLeader ? id().index() : leader_hint_.index();
+  };
+  hooks.local_reads = false;  // Raft reads are never follower-local
+  hooks.submit_rmw = [this](const OperationId& id,
+                            const object::Operation& op) {
+    // ids_in_log_ dedups retries whose entry already survives in our log.
+    on_client_rmw(this->id(), msg::ClientRmw{id, op});
+  };
+  hooks.submit_read = [this](const object::Operation& op,
+                             std::function<void(std::string)> done) {
+    // Reuses the replica-local read path (lease or ReadIndex round under a
+    // replica-own id), which already retries across leadership changes.
+    submit_read(op,
+                [done = std::move(done)](const object::Response& r) { done(r); });
+  };
+  gateway_.set_hooks(std::move(hooks));
 }
 
 void RaftReplica::on_start() {
@@ -409,6 +430,9 @@ void RaftReplica::apply_committed() {
         if (node.mapped().callback) node.mapped().callback(response);
       }
     }
+    // Every applied entry feeds the client session table in log order (also
+    // during recovery replay, which rebuilds it).
+    gateway_.on_applied(entry.id, response);
   }
   maybe_answer_reads();
 }
@@ -575,6 +599,7 @@ void RaftReplica::answer_read(const PendingLeaderRead& read) {
 // ===========================================================================
 
 void RaftReplica::on_message(const sim::Message& message) {
+  if (gateway_.handle(message)) return;
   if (message.is(msg::kRequestVote)) {
     on_request_vote(message.from, message.as<msg::RequestVote>());
   } else if (message.is(msg::kVoteReply)) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "client/gateway.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "metrics/registry.h"
@@ -174,6 +175,11 @@ class RaftReplica : public sim::Process {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
+  // Replica-side endpoint for networked clients (src/client/): RMWs and
+  // leader_only reads are accepted only while leading; everything else is
+  // redirected at leader_hint().
+  client::ReplicaGateway& client_gateway() { return gateway_; }
+
  private:
   struct PendingClientOp {
     object::Operation op;
@@ -284,6 +290,9 @@ class RaftReplica : public sim::Process {
   metrics::Counter* c_recoveries_;
   metrics::Counter* c_recovered_entries_;
   metrics::Span span_recovery_;         // restart -> first live-protocol sign
+
+  // Networked-client endpoint (declared after metrics_: ctor order).
+  client::ReplicaGateway gateway_;
 };
 
 }  // namespace cht::raft

@@ -14,6 +14,18 @@ Simulation::Simulation(SimulationConfig config)
 
 ProcessId Simulation::add_process(std::unique_ptr<Process> process) {
   CHT_ASSERT(!started_, "cannot add processes after start()");
+  CHT_ASSERT(cluster_n_ == static_cast<int>(processes_.size()),
+             "cluster members must be added before any client");
+  ++cluster_n_;
+  return add_slot(std::move(process));
+}
+
+ProcessId Simulation::add_client(std::unique_ptr<Process> process) {
+  CHT_ASSERT(!started_, "cannot add clients after start()");
+  return add_slot(std::move(process));
+}
+
+ProcessId Simulation::add_slot(std::unique_ptr<Process> process) {
   const ProcessId id(static_cast<int>(processes_.size()));
   processes_.push_back(std::move(process));
   const std::int64_t half = config_.epsilon.to_micros() / 2;
@@ -33,7 +45,12 @@ void Simulation::start() {
   CHT_ASSERT(!started_, "start() called twice");
   started_ = true;
   const int n = static_cast<int>(processes_.size());
-  for (int i = 0; i < n; ++i) processes_[i]->attach(this, ProcessId(i), n);
+  // Everyone — replicas and clients — is attached with the replica count:
+  // cluster_size() feeds quorum math and broadcast fan-out, neither of which
+  // may ever include a client.
+  for (int i = 0; i < n; ++i) {
+    processes_[i]->attach(this, ProcessId(i), cluster_n_);
+  }
   for (int i = 0; i < n; ++i) {
     if (!processes_[i]->crashed()) processes_[i]->on_start();
   }
@@ -76,7 +93,7 @@ void Simulation::restart(ProcessId p, std::unique_ptr<Process> fresh) {
   trace_.record(now(), p, "restart", "");
   ++incarnations_.at(p.index());
   graveyard_.push_back(std::move(processes_[p.index()]));
-  fresh->attach(this, p, n());
+  fresh->attach(this, p, cluster_n_);
   processes_[p.index()] = std::move(fresh);
   processes_[p.index()]->on_restart();
 }
@@ -163,6 +180,7 @@ void Process::request_sync(std::function<void()> fn) {
   StableStorage& st = storage();
   if (!st.config().group_commit ||
       st.effective_sync_latency() == Duration::zero()) {
+    st.note_flush_width(1);
     sync_storage(std::move(fn));
     return;
   }
@@ -176,6 +194,7 @@ void Process::start_group_sync() {
   // queue for the next one.
   auto burst = std::make_shared<std::vector<std::function<void()>>>();
   burst->swap(sync_pending_);
+  storage().note_flush_width(burst->size());
   sync_in_flight_ = true;
   sync_storage([this, burst] {
     for (auto& fn : *burst) {

@@ -42,9 +42,18 @@ class Simulation {
  public:
   explicit Simulation(SimulationConfig config);
 
-  // Adds a process; returns its id. All processes must be added before
-  // start(). The process's clock offset is drawn from the seed.
+  // Adds a cluster member; returns its id. All processes must be added
+  // before start(). The process's clock offset is drawn from the seed.
   ProcessId add_process(std::unique_ptr<Process> process);
+
+  // Adds a client process: a full simulation participant (clock, storage
+  // slot, network links) that is NOT part of the replicated cluster. Client
+  // ids follow the replica ids, and every process — replica or client — is
+  // attached with cluster_size() equal to the replica count, so quorum math
+  // and Process::broadcast never see clients. Clients must be added after
+  // every add_process() call (enforced), preserving replica clock-offset
+  // draws of client-free seeds.
+  ProcessId add_client(std::unique_ptr<Process> process);
 
   // Re-attaches ids/cluster size and calls on_start on every process.
   void start();
@@ -88,6 +97,9 @@ class Simulation {
 
   // --- Access -------------------------------------------------------------
   int n() const { return static_cast<int>(processes_.size()); }
+  // Replicated-cluster size (excludes clients); what every process is
+  // attached with as Process::cluster_size().
+  int cluster_n() const { return cluster_n_; }
   Process& process(ProcessId p) { return *processes_.at(p.index()); }
   template <class T>
   T& process_as(ProcessId p) {
@@ -106,6 +118,7 @@ class Simulation {
  private:
   friend class Process;
   void deliver(const Message& message);
+  ProcessId add_slot(std::unique_ptr<Process> process);
 
   SimulationConfig config_;
   Rng rng_;
@@ -122,6 +135,7 @@ class Simulation {
   std::vector<std::unique_ptr<Process>> graveyard_;
   Trace trace_;
   bool started_ = false;
+  int cluster_n_ = 0;
 };
 
 }  // namespace cht::sim

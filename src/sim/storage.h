@@ -94,6 +94,15 @@ class StableStorage {
   // Cumulative time continuations spent waiting on sync completions.
   std::int64_t sync_stall_us() const { return sync_stall_us_; }
 
+  // Group-commit observability: one sample per covering sync issued through
+  // Process::request_sync, counting how many durability requests it covered
+  // (1 = no coalescing). Sample counts keyed by width, in width order;
+  // harnesses fold these into the "storage.flush_width" histogram.
+  void note_flush_width(std::size_t width) { ++flush_widths_[width]; }
+  const std::map<std::size_t, std::int64_t>& flush_widths() const {
+    return flush_widths_;
+  }
+
   // Called by the simulation when the owning process crashes. Applies the
   // seed-deterministic loss/tearing of unsynced writes described above.
   void lose_unsynced_writes();
@@ -117,6 +126,7 @@ class StableStorage {
   std::size_t durable_log_size_ = 0;
   bool log_truncated_below_durable_ = false;
   std::int64_t fsyncs_ = 0;
+  std::map<std::size_t, std::int64_t> flush_widths_;
 };
 
 // --- Record codec ----------------------------------------------------------

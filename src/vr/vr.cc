@@ -13,12 +13,31 @@ constexpr const char* kTag = "vr";
 
 VrReplica::VrReplica(std::shared_ptr<const object::ObjectModel> model,
                      VrConfig config)
-    : model_(std::move(model)), config_(config) {
+    : model_(std::move(model)), config_(config), gateway_(*this, &metrics_) {
   span_viewchange_ =
       metrics::Span(&metrics_.histogram("span.viewchange_us"));
   c_recoveries_ = &metrics_.counter("recoveries");
   c_recovered_entries_ = &metrics_.counter("recovery_log_replayed");
   span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
+
+  client::ReplicaGateway::Hooks hooks;
+  hooks.accepts_rmw = [this] { return is_primary(); };
+  hooks.is_leader = [this] { return is_primary(); };
+  hooks.leader_hint = [this] { return primary_of(view_).index(); };
+  hooks.local_reads = false;  // VR reads take the full consensus round
+  hooks.submit_rmw = [this](const OperationId& id,
+                            const object::Operation& op) {
+    // ids_in_log_ dedups retries whose entry already survives in our log.
+    on_request(this->id(), msg::Request{id, op});
+  };
+  hooks.submit_read = [this](const object::Operation& op,
+                             std::function<void(std::string)> done) {
+    // VR treats reads like any other operation: run them through the log
+    // under a replica-own id (invisible to client sessions).
+    submit(op,
+           [done = std::move(done)](const object::Response& r) { done(r); });
+  };
+  gateway_.set_hooks(std::move(hooks));
 }
 
 void VrReplica::end_viewchange_span() {
@@ -233,6 +252,9 @@ void VrReplica::apply_committed() {
         if (node.mapped().callback) node.mapped().callback(response);
       }
     }
+    // Every applied entry feeds the client session table in log order (also
+    // after a view change or nonce recovery installs a longer log).
+    gateway_.on_applied(entry.id, response);
   }
 }
 
@@ -480,8 +502,10 @@ void VrReplica::on_message(const sim::Message& message) {
     return;
   }
   // A recovering replica takes no other protocol steps (sec. 4.3): its state
-  // is unknown even to itself until the recovery quorum answers.
+  // is unknown even to itself until the recovery quorum answers. Client
+  // traffic is likewise ignored until then (the client retries elsewhere).
   if (status_ == Status::kRecovering) return;
+  if (gateway_.handle(message)) return;
   if (message.is(msg::kRequest)) {
     on_request(message.from, message.as<msg::Request>());
   } else if (message.is(msg::kPrepare)) {

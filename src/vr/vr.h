@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "client/gateway.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "metrics/registry.h"
@@ -183,6 +184,11 @@ class VrReplica : public sim::Process {
   metrics::Registry& metrics() { return metrics_; }
   const metrics::Registry& metrics() const { return metrics_; }
 
+  // Replica-side endpoint for networked clients (src/client/): everything —
+  // reads included — is accepted only at the primary of a normal view;
+  // other replicas redirect at primary_of(view).
+  client::ReplicaGateway& client_gateway() { return gateway_; }
+
  private:
   struct PendingClientOp {
     object::Operation op;
@@ -276,6 +282,9 @@ class VrReplica : public sim::Process {
   metrics::Counter* c_recoveries_;
   metrics::Counter* c_recovered_entries_;
   metrics::Span span_recovery_;    // restart -> recovery protocol finished
+
+  // Networked-client endpoint (declared after metrics_: ctor order).
+  client::ReplicaGateway gateway_;
 };
 
 }  // namespace cht::vr

@@ -27,6 +27,12 @@ struct CorpusEntry {
   // Unsynced-write loss probability for power cycles; 0.5 is the sweep
   // default, 0.0/1.0 pin the boundary disks.
   double key_loss = 0.5;
+  // Whether operations route through networked client sessions (retries,
+  // redirects, replica-side dedup) or the legacy direct-submit path. The
+  // pre-client pins stay on the legacy path to preserve the schedules that
+  // earned them their place; client-path pins exercise the session machinery
+  // and the exactly-once invariant.
+  bool client_path = false;
 };
 
 const std::vector<CorpusEntry>& corpus() {
@@ -80,6 +86,21 @@ const std::vector<CorpusEntry>& corpus() {
       // OperationIds and mid-recovery re-crash handling.
       {"chtread", "crash-loop", "kv", 6, "crash-loop incarnation churn"},
       {"vr", "crash-loop", "counter", 8, "crash-loop mid-recovery re-crash"},
+      // Client-path pins: operations travel through networked client
+      // sessions, so retries, Redirect-chasing and replica-side dedup are
+      // under the nemesis and the exactly-once invariant is live. Seeds
+      // picked from sweep metrics as eventful-but-clean: the raft cell
+      // retries 62 times across 118 redirects (leader churn mid-request,
+      // including a deduplicated duplicate reply); the chtread cell rebuilds
+      // session tables through four crash-loop recoveries; the vr cell
+      // answers three retried RMWs from the session cache across power
+      // cycles — a double-apply would show up as a wrong counter value.
+      {"raft", "leader-hunter", "kv", 7, "client retry/redirect churn", 0.5,
+       true},
+      {"chtread", "crash-loop", "kv", 3,
+       "session-table rebuild through crash loops", 0.5, true},
+      {"vr", "power-cycle", "counter", 6,
+       "session dedup across power cycles", 0.5, true},
   };
   return entries;
 }
@@ -95,6 +116,7 @@ TEST_P(ChaosCorpusTest, PinnedSeedStaysClean) {
   spec.seed = entry.seed;
   spec.ops = 40;
   spec.unsynced_key_loss = entry.key_loss;
+  spec.client_path = entry.client_path;
 
   const RunResult first = run_one(spec);
   EXPECT_TRUE(first.checker_decided) << entry.why;
@@ -113,6 +135,7 @@ std::string entry_name(const ::testing::TestParamInfo<CorpusEntry>& info) {
   std::string name = info.param.protocol + "_" + info.param.profile + "_" +
                      info.param.object + "_seed" +
                      std::to_string(info.param.seed);
+  if (info.param.client_path) name += "_client";
   for (char& c : name) {
     if (c == '-') c = '_';
   }

@@ -31,47 +31,14 @@ namespace {
 // adapter teardown (the last point the replicas exist inside run_one).
 // Every protocol-visible call forwards unchanged, so a captured run's
 // fingerprint is identical to an undecorated one.
-class MetricsProbe final : public chaos::ClusterAdapter {
+class MetricsProbe final : public chaos::ForwardingAdapter {
  public:
   MetricsProbe(std::unique_ptr<chaos::ClusterAdapter> inner,
                metrics::Registry& out)
-      : inner_(std::move(inner)), out_(out) {}
-  ~MetricsProbe() override { inner_->merge_metrics_into(out_); }
-
-  const std::string& protocol() const override { return inner_->protocol(); }
-  sim::Simulation& sim() override { return inner_->sim(); }
-  int n() const override { return inner_->n(); }
-  const object::ObjectModel& model() const override { return inner_->model(); }
-  checker::HistoryRecorder& history() override { return inner_->history(); }
-  void submit(int process, object::Operation op) override {
-    inner_->submit(process, std::move(op));
-  }
-  bool crashed(int process) const override { return inner_->crashed(process); }
-  void restart(int process) override { inner_->restart(process); }
-  bool recovering(int process) const override {
-    return inner_->recovering(process);
-  }
-  std::vector<OperationId> committed_op_ids() override {
-    return inner_->committed_op_ids();
-  }
-  int leader() override { return inner_->leader(); }
-  bool await_quiesce(Duration timeout) override {
-    return inner_->await_quiesce(timeout);
-  }
-  std::size_t submitted() const override { return inner_->submitted(); }
-  std::size_t completed() const override { return inner_->completed(); }
-  std::vector<std::string> protocol_invariants() override {
-    return inner_->protocol_invariants();
-  }
-  std::int64_t leadership_changes() override {
-    return inner_->leadership_changes();
-  }
-  void merge_metrics_into(metrics::Registry& out) override {
-    inner_->merge_metrics_into(out);
-  }
+      : ForwardingAdapter(std::move(inner)), out_(out) {}
+  ~MetricsProbe() override { inner().merge_metrics_into(out_); }
 
  private:
-  std::unique_ptr<chaos::ClusterAdapter> inner_;
   metrics::Registry& out_;
 };
 
@@ -199,6 +166,34 @@ TEST_P(DeterminismTwiceTest, CrashLoopRunIsByteIdentical) {
   // The profile only earns its keep if the loop actually cycled: more
   // crashes than distinct victims requires at least one re-crash.
   EXPECT_GT(first.result.restarts, 0);
+}
+
+// Legacy direct-submit determinism: with the client path disabled the
+// harness injects operations straight into replicas (the pre-client data
+// path, still used when replaying old repro artifacts). Both routing modes
+// must stay independently byte-reproducible; the three cases above cover
+// the default client path, this one pins the legacy path.
+TEST_P(DeterminismTwiceTest, LegacyDirectSubmitRunIsByteIdentical) {
+  chaos::RunSpec spec;
+  spec.protocol = GetParam();
+  spec.profile = "rolling-partitions";
+  spec.object = "kv";
+  spec.seed = 42;
+  spec.ops = 40;
+  spec.client_path = false;
+
+  const CapturedRun first = run_captured(spec);
+  const CapturedRun second = run_captured(spec);
+
+  EXPECT_EQ(first.result.fingerprint, second.result.fingerprint);
+  EXPECT_EQ(first.result.violations, second.result.violations);
+  EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
+  EXPECT_EQ(first.result.history, second.result.history);
+  EXPECT_EQ(first.artifact_bytes, second.artifact_bytes)
+      << "legacy-path repro artifact not byte-identical";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "legacy-path metrics not byte-identical";
+  EXPECT_GT(first.result.completed, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStacks, DeterminismTwiceTest,

@@ -31,49 +31,18 @@ namespace {
 // synthetic violation iff the run's final simulated time has odd parity in
 // microseconds — a property that is deterministic per seed but varies
 // across seeds, giving the sweep a stable pass/fail mix.
-class SyntheticFault final : public chaos::ClusterAdapter {
+class SyntheticFault final : public chaos::ForwardingAdapter {
  public:
   explicit SyntheticFault(std::unique_ptr<chaos::ClusterAdapter> inner)
-      : inner_(std::move(inner)) {}
+      : ForwardingAdapter(std::move(inner)) {}
 
-  const std::string& protocol() const override { return inner_->protocol(); }
-  sim::Simulation& sim() override { return inner_->sim(); }
-  int n() const override { return inner_->n(); }
-  const object::ObjectModel& model() const override { return inner_->model(); }
-  checker::HistoryRecorder& history() override { return inner_->history(); }
-  void submit(int process, object::Operation op) override {
-    inner_->submit(process, std::move(op));
-  }
-  bool crashed(int process) const override { return inner_->crashed(process); }
-  void restart(int process) override { inner_->restart(process); }
-  bool recovering(int process) const override {
-    return inner_->recovering(process);
-  }
-  std::vector<OperationId> committed_op_ids() override {
-    return inner_->committed_op_ids();
-  }
-  int leader() override { return inner_->leader(); }
-  bool await_quiesce(Duration timeout) override {
-    return inner_->await_quiesce(timeout);
-  }
-  std::size_t submitted() const override { return inner_->submitted(); }
-  std::size_t completed() const override { return inner_->completed(); }
   std::vector<std::string> protocol_invariants() override {
-    std::vector<std::string> violations = inner_->protocol_invariants();
-    if (inner_->sim().now().to_micros() % 2 == 1) {
+    std::vector<std::string> violations = inner().protocol_invariants();
+    if (inner().sim().now().to_micros() % 2 == 1) {
       violations.push_back("synthetic: odd final clock (test-injected)");
     }
     return violations;
   }
-  std::int64_t leadership_changes() override {
-    return inner_->leadership_changes();
-  }
-  void merge_metrics_into(metrics::Registry& out) override {
-    inner_->merge_metrics_into(out);
-  }
-
- private:
-  std::unique_ptr<chaos::ClusterAdapter> inner_;
 };
 
 chaos::AdapterHook synthetic_fault_hook() {

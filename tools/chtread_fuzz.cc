@@ -16,7 +16,8 @@
 //                [--n=5] [--ops=80] [--read-fraction=0.5] [--key-skew=0.5]
 //                [--delta-ms=10] [--epsilon-ms=1] [--gst-ms=1000]
 //                [--loss=0.1] [--sync-latency-us=5000] [--key-loss=0.5]
-//                [--group-commit=1] [--max-inflight=6] [--check-budget=500000]
+//                [--group-commit=1] [--client-path=1]
+//                [--max-inflight=6] [--check-budget=500000]
 //                [--artifact-dir=.] [--metrics-out=PATH.json] [--verbose]
 //   chtread_fuzz --repro=<artifact-file>
 //
@@ -104,6 +105,8 @@ Options parse(int argc, char** argv) {
       options.base.unsynced_key_loss = std::stod(value);
     } else if (parse_flag(arg, "group-commit", value)) {
       options.base.group_commit = std::stoi(value) != 0;
+    } else if (parse_flag(arg, "client-path", value)) {
+      options.base.client_path = std::stoi(value) != 0;
     } else if (parse_flag(arg, "max-inflight", value)) {
       options.base.max_inflight = std::stoi(value);
     } else if (parse_flag(arg, "check-budget", value)) {
@@ -183,7 +186,7 @@ std::vector<std::string> expand(const std::string& value,
 // the replicas (and their metric registries) still exist. Pure observer —
 // every protocol-visible call forwards unchanged, so the decorated run's
 // fingerprint is identical to an undecorated one.
-class CapturingAdapter final : public chaos::ClusterAdapter {
+class CapturingAdapter final : public chaos::ForwardingAdapter {
  public:
   struct Capture {
     metrics::Registry merged;
@@ -193,51 +196,18 @@ class CapturingAdapter final : public chaos::ClusterAdapter {
   };
 
   CapturingAdapter(std::unique_ptr<chaos::ClusterAdapter> inner, Capture& out)
-      : inner_(std::move(inner)), out_(out) {}
+      : ForwardingAdapter(std::move(inner)), out_(out) {}
   ~CapturingAdapter() override {
-    inner_->merge_metrics_into(out_.merged);
-    out_.messages = inner_->sim().network().stats();
-    for (const auto& op : inner_->history().ops()) {
+    inner().merge_metrics_into(out_.merged);
+    out_.messages = inner().sim().network().stats();
+    for (const auto& op : inner().history().ops()) {
       if (!op.completed()) continue;
-      (inner_->model().is_read(op.op) ? out_.reads : out_.rmws)
+      (inner().model().is_read(op.op) ? out_.reads : out_.rmws)
           .record(op.latency());
     }
   }
 
-  const std::string& protocol() const override { return inner_->protocol(); }
-  sim::Simulation& sim() override { return inner_->sim(); }
-  int n() const override { return inner_->n(); }
-  const object::ObjectModel& model() const override { return inner_->model(); }
-  checker::HistoryRecorder& history() override { return inner_->history(); }
-  void submit(int process, object::Operation op) override {
-    inner_->submit(process, std::move(op));
-  }
-  bool crashed(int process) const override { return inner_->crashed(process); }
-  void restart(int process) override { inner_->restart(process); }
-  bool recovering(int process) const override {
-    return inner_->recovering(process);
-  }
-  std::vector<OperationId> committed_op_ids() override {
-    return inner_->committed_op_ids();
-  }
-  int leader() override { return inner_->leader(); }
-  bool await_quiesce(Duration timeout) override {
-    return inner_->await_quiesce(timeout);
-  }
-  std::size_t submitted() const override { return inner_->submitted(); }
-  std::size_t completed() const override { return inner_->completed(); }
-  std::vector<std::string> protocol_invariants() override {
-    return inner_->protocol_invariants();
-  }
-  std::int64_t leadership_changes() override {
-    return inner_->leadership_changes();
-  }
-  void merge_metrics_into(metrics::Registry& out) override {
-    inner_->merge_metrics_into(out);
-  }
-
  private:
-  std::unique_ptr<chaos::ClusterAdapter> inner_;
   Capture& out_;
 };
 

@@ -84,13 +84,14 @@ CPP_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 # decisions, verdicts, or the event schedule (rule D3).
 PROTOCOL_DIRS = (
     "src/core", "src/raft", "src/vr", "src/leader", "src/baselines",
-    "src/sim", "src/checker", "src/chaos",
+    "src/sim", "src/checker", "src/chaos", "src/client",
 )
 
 # Wire-format / spec files whose structs rule D5 audits.
 D5_FILES = (
     "src/core/messages.h", "src/sim/message.h", "src/raft/raft.h",
     "src/vr/vr.h", "src/core/config.h", "src/chaos/spec.h",
+    "src/client/wire.h",
 )
 
 ALLOWLIST = {
