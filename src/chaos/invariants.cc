@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "checker/linearizability.h"
+#include "checker/sessions.h"
+#include "object/kv_object.h"
 
 namespace cht::chaos {
 
@@ -74,6 +76,18 @@ InvariantReport check_invariants(ClusterAdapter& cluster,
           violations.push_back(os.str());
         }
       }
+    }
+  }
+
+  // Read-your-writes (KV histories only). Implied by linearizability, but
+  // checked separately: it is linear-time (so it still decides when the
+  // checker below exhausts its budget) and names the offending client and
+  // value when it fires. Skipped when clock skew legally permits stale
+  // reads — a stale local read may miss the reader's own write.
+  if (!profile.allows_stale_reads &&
+      dynamic_cast<const object::KVObject*>(&cluster.model()) != nullptr) {
+    for (auto& v : checker::check_read_your_writes(cluster.history().ops())) {
+      violations.push_back(std::move(v));
     }
   }
 

@@ -23,6 +23,11 @@ constexpr std::uint64_t kNemesisStream = 0x6e656d;   // "nem"
 constexpr std::uint64_t kWorkloadStream = 0x776f726b;  // "work"
 constexpr std::uint64_t kDriverStream = 0x64727631;  // "drv1"
 
+// Slack appended to the nemesis window and allowed after healing before
+// final-state invariants run: a few heartbeat intervals at any sane delta,
+// so a just-healed stale leader can learn it was deposed.
+constexpr Duration kSettleSlack = Duration::seconds(2);
+
 std::uint64_t fnv1a(std::uint64_t hash, const std::string& s) {
   for (unsigned char c : s) {
     hash ^= c;
@@ -82,7 +87,7 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
   // reschedules itself between submissions because run_for drains the same
   // event queue.
   nemesis.arm(Duration::millis((spec.op_gap_max_ms * 3 + 1) * spec.ops) +
-              Duration::seconds(2));
+              kSettleSlack);
   // Open operations at live processes. Pending ops whose submitter crashed
   // stay open forever and are excluded — they no longer add client load.
   const auto live_inflight = [&cluster] {
@@ -130,7 +135,7 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
       cluster.await_quiesce(Duration::seconds(spec.quiesce_timeout_s));
   // Let leadership settle before final-state invariants (a just-healed stale
   // leader needs a few heartbeats to learn it was deposed).
-  cluster.run_for(Duration::seconds(2));
+  cluster.run_for(kSettleSlack);
 
   InvariantReport report = check_invariants(
       cluster, nemesis_profile(spec.profile, spec.delta(), spec.epsilon()),

@@ -74,6 +74,13 @@ class ReplicaGateway {
 
   const SessionTable& sessions() const { return sessions_; }
 
+  // Bounds the session table to the k most recently applied clients
+  // (0 = unbounded; see session.h for the eviction semantics). Must be set
+  // identically at every replica — the table is replicated state.
+  void set_session_capacity(std::size_t capacity) {
+    sessions_.set_capacity(capacity);
+  }
+
  private:
   void reply(ProcessId to, const OperationId& id, const std::string& response);
   void redirect(ProcessId to, const OperationId& id);

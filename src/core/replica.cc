@@ -20,6 +20,10 @@ constexpr const char* kKeyPromised = "promised";
 constexpr const char* kKeyEstimate = "est";
 constexpr const char* kBatchKeyPrefix = "batch.";
 
+// Smallest representable local-time advance — "strictly after" an instant
+// on a clock that ticks in whole microseconds.
+constexpr Duration kTickAfter = Duration::micros(1);
+
 std::string encode_batch(const Batch& ops) {
   std::vector<std::string> fields;
   fields.reserve(ops.size() * 4);
@@ -613,8 +617,8 @@ void Replica::check_leaseholder_gate() {
     // clocks running epsilon slow (lines 60-61).
     doops_->waiting_expiry = true;
     const LocalTime base = std::max(leader_time_, last_lease_issued_);
-    const LocalTime safe = base + config_.lease_period + config_.epsilon +
-                           Duration::micros(1);
+    const LocalTime safe =
+        base + config_.lease_period + config_.epsilon + kTickAfter;
     doops_->expiry_timer =
         schedule_at_local(safe, [this] { finish_doops(); });
   }

@@ -17,6 +17,7 @@
 
 #include <type_traits>
 
+#include "client/wire.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "core/messages.h"
@@ -81,6 +82,11 @@ static_assert(wire_value_v<vr::msg::Prepare>);
 static_assert(wire_value_v<vr::msg::DoViewChange>);
 static_assert(wire_value_v<vr::msg::StartView>);
 static_assert(wire_value_v<vr::msg::NewState>);
+
+// --- Networked client path (client/wire.h) ----------------------------------
+static_assert(wire_scalar_v<client::msg::Redirect>);
+static_assert(wire_value_v<client::msg::ClientRequest>);
+static_assert(wire_value_v<client::msg::ClientReply>);
 
 // --- Simulator envelope (sim/message.h) -------------------------------------
 static_assert(wire_value_v<sim::Message>);

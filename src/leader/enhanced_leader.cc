@@ -9,6 +9,9 @@ namespace cht::leader {
 
 namespace {
 constexpr const char* kCounterKey = "els.counter";
+// Smallest representable local-time advance — "strictly after" an instant
+// on a clock that ticks in whole microseconds.
+constexpr Duration kTickAfter = Duration::micros(1);
 }  // namespace
 
 void EnhancedLeaderService::start() { support_tick(); }
@@ -26,7 +29,7 @@ void EnhancedLeaderService::recover() {
   // grants strictly after now + support_duration keeps this process's
   // supports for distinct leaders disjoint across the restart.
   min_grant_start_ =
-      host_.now_local() + config_.support_duration + Duration::micros(1);
+      host_.now_local() + config_.support_duration + kTickAfter;
   last_grant_end_ = LocalTime::min();
   support_tick();
 }
@@ -47,7 +50,7 @@ void EnhancedLeaderService::support_tick() {
     counter_changed = true;
     supported_ = current;
     if (last_grant_end_ != LocalTime::min()) {
-      min_grant_start_ = last_grant_end_ + Duration::micros(1);
+      min_grant_start_ = last_grant_end_ + kTickAfter;
     }
   }
   const LocalTime start = std::max(now, min_grant_start_);

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "checker/sessions.h"
 #include "object/bank_object.h"
 #include "object/counter_object.h"
+#include "object/kv_object.h"
 #include "object/register_object.h"
 
 namespace cht::checker {
@@ -226,6 +228,115 @@ TEST(CheckerTest, LongSequentialHistoryFast) {
     t += 10;
   }
   EXPECT_TRUE(check_linearizable(model, h).linearizable);
+}
+
+// --- Read-your-writes session guarantee (checker/sessions.h) ----------------
+
+using object::KVObject;
+
+TEST(ReadYourWritesTest, ReadMissingOwnWriteIsFlagged) {
+  // The negative case the invariant exists for: the client's put was
+  // acknowledged, yet its own later read returns the initial "".
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "v1"), 0, 10, "ok"),
+      op(0, KVObject::get("k"), 20, 30, ""),
+  };
+  const auto violations = check_read_your_writes(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("read-your-writes"), std::string::npos);
+  EXPECT_NE(violations[0].find("put(k:v1)"), std::string::npos);
+}
+
+TEST(ReadYourWritesTest, ReadOfValueOlderThanOwnWriteIsFlagged) {
+  // Another client's write that finished before ours even started cannot
+  // linearize after ours — reading it back means our write was skipped.
+  std::vector<HistoryOp> h{
+      op(1, KVObject::put("k", "old"), 0, 10, "ok"),
+      op(0, KVObject::put("k", "new"), 20, 30, "ok"),
+      op(0, KVObject::get("k"), 40, 50, "old"),
+  };
+  EXPECT_EQ(check_read_your_writes(h).size(), 1u);
+}
+
+TEST(ReadYourWritesTest, OwnValueAndNewerForeignValueAccepted) {
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "mine"), 0, 10, "ok"),
+      op(0, KVObject::get("k"), 20, 30, "mine"),
+      // A foreign write invoked after ours may linearize between our write
+      // and our second read.
+      op(1, KVObject::put("k", "theirs"), 35, 45, "ok"),
+      op(0, KVObject::get("k"), 50, 60, "theirs"),
+  };
+  EXPECT_TRUE(check_read_your_writes(h).empty());
+}
+
+TEST(ReadYourWritesTest, ConcurrentForeignWriteJustifiesEitherValue) {
+  // The foreign write overlaps the client's own, so either order is legal.
+  for (const char* value : {"mine", "theirs"}) {
+    std::vector<HistoryOp> h{
+        op(1, KVObject::put("k", "theirs"), 0, 100, "ok"),
+        op(0, KVObject::put("k", "mine"), 50, 60, "ok"),
+        op(0, KVObject::get("k"), 70, 80, value),
+    };
+    EXPECT_TRUE(check_read_your_writes(h).empty()) << value;
+  }
+}
+
+TEST(ReadYourWritesTest, PendingDeleteJustifiesEmptyRead) {
+  // A delete pending at the end of the run may have applied between the
+  // client's write and its read, so "" is not (provably) a violation.
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "v1"), 0, 10, "ok"),
+      pending(1, KVObject::del("k"), 15),
+      op(0, KVObject::get("k"), 20, 30, ""),
+  };
+  EXPECT_TRUE(check_read_your_writes(h).empty());
+}
+
+TEST(ReadYourWritesTest, OwnDeleteObligesEmptyRead) {
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "v1"), 0, 10, "ok"),
+      op(0, KVObject::del("k"), 20, 30, "ok"),
+      op(0, KVObject::get("k"), 40, 50, "v1"),  // resurrected: violation
+  };
+  EXPECT_EQ(check_read_your_writes(h).size(), 1u);
+}
+
+TEST(ReadYourWritesTest, FailedCasCreatesNoObligation) {
+  std::vector<HistoryOp> h{
+      op(1, KVObject::put("k", "base"), 0, 10, "ok"),
+      op(0, KVObject::cas("k", "wrong", "swapped"), 20, 30, "fail"),
+      op(0, KVObject::get("k"), 40, 50, "base"),
+  };
+  EXPECT_TRUE(check_read_your_writes(h).empty());
+}
+
+TEST(ReadYourWritesTest, SuccessfulCasObligesItsDesiredValue) {
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "base"), 0, 10, "ok"),
+      op(0, KVObject::cas("k", "base", "swapped"), 20, 30, "ok"),
+      op(0, KVObject::get("k"), 40, 50, "base"),  // pre-cas value: violation
+  };
+  EXPECT_EQ(check_read_your_writes(h).size(), 1u);
+}
+
+TEST(ReadYourWritesTest, UnacknowledgedOwnWriteCreatesNoObligation) {
+  // The client was never told the put succeeded, so reading "" is legal.
+  std::vector<HistoryOp> h{
+      pending(0, KVObject::put("k", "v1"), 0),
+      op(0, KVObject::get("k"), 20, 30, ""),
+  };
+  EXPECT_TRUE(check_read_your_writes(h).empty());
+}
+
+TEST(ReadYourWritesTest, OtherClientsSessionsAreIndependent) {
+  // Client 1 never wrote k; reading the initial "" is fine for it even
+  // though client 0's write completed long before.
+  std::vector<HistoryOp> h{
+      op(0, KVObject::put("k", "v1"), 0, 10, "ok"),
+      op(1, KVObject::get("k"), 20, 30, ""),  // stale but not a RYW breach
+  };
+  EXPECT_TRUE(check_read_your_writes(h).empty());
 }
 
 }  // namespace

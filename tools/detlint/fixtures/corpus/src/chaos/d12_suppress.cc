@@ -1,0 +1,37 @@
+// Fixture: rule D12 — dead-suppression audit. A detlint annotation must be
+// well-formed (reason mandatory) and must still suppress at least one real
+// finding at its covered lines; anything else is justification debt and is
+// itself a finding. D12 can never be suppressed.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Audit {
+  // Negative: a live justification — the annotated line really is a D4
+  // finding, so the allow earns its keep.
+  std::map<int*, int> by_slot_;  // detlint: allow(D4) slot set compared for identity only
+
+  // Negative: a live standalone justification covering the next line.
+  // detlint: order-independent (membership-only set; never iterated)
+  std::unordered_set<int> seen_;
+
+  // Positive: well-formed but stale — nothing on this line triggers D4.
+  std::map<long, int> plain_;  // detlint: allow(D4) keyed by stable id [detlint-expect: D12]
+
+  // Positive: stale standalone annotation — the clock call it justified is
+  // long deleted, the annotation lingered.
+  // detlint: allow(D1) scheduling experiment read the host clock [detlint-expect: D12]
+  int counter_ = 0;
+
+  // Positive: malformed — order-independent demands a (reason), so the
+  // suppression is void: the D3 fires AND the annotation is flagged.
+  std::unordered_map<int, int> relay_;  // detlint: order-independent [detlint-expect: D3, D12]
+
+  // Positive: malformed — allow() must name a rule D1..D11; D12 itself can
+  // never be suppressed, so this is void and flagged.
+  std::map<char*, int> warp_;  // detlint: allow(D12) trying to silence the auditor [detlint-expect: D4, D12]
+};
+
+}  // namespace fixture

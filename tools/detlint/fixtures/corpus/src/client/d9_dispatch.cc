@@ -1,0 +1,36 @@
+// Fixture: rule D9 — handler exhaustiveness over the vocabulary declared in
+// wire_d9.h. Positive cases: an arm for a type that is never sent, and an
+// arm for a type the stack never declared. (The declared-but-unhandled case
+// is flagged at the declaration, in wire_d9.h.)
+#include <string>
+
+namespace fixture {
+
+struct Message {
+  bool is(const char* type) const;
+};
+
+struct Endpoint {
+  void send(int to, const char* type, const std::string& payload);
+  void broadcast(const char* type, const std::string& payload);
+
+  void pump() {
+    send(1, msg::kPing, "x");
+    broadcast(msg::kPong, "y");
+    send(2, msg::kLost, "z");
+  }
+
+  void on_message(const Message& message) {
+    if (message.is(msg::kPing)) {
+      // Negative: declared, dispatched, sent.
+    } else if (message.is(msg::kPong)) {
+      // Negative: broadcast counts as a send site.
+    } else if (message.is(msg::kGhost)) {  // detlint-expect: D9
+      // Unreachable: nothing in this stack ever sends cl.ghost.
+    } else if (message.is(msg::kAlien)) {  // detlint-expect: D9
+      // Undeclared: kAlien is not part of this stack's vocabulary.
+    }
+  }
+};
+
+}  // namespace fixture

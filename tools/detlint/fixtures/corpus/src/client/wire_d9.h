@@ -1,0 +1,17 @@
+// Fixture: rule D9 — wire-message vocabulary for the dispatch-exhaustiveness
+// checks in d9_dispatch.cc. A declared type nobody dispatches is flagged at
+// its declaration; see the .cc for the arm-side cases.
+#pragma once
+
+namespace fixture::msg {
+
+inline constexpr const char* kPing = "cl.ping";
+inline constexpr const char* kPong = "cl.pong";
+// Declared and sent, but no dispatch arm handles it: a receiver drops it on
+// the floor.
+inline constexpr const char* kLost = "cl.lost";  // detlint-expect: D9
+// Declared and dispatched, but never sent — the arm is dead code; the
+// finding lands on the arm in d9_dispatch.cc.
+inline constexpr const char* kGhost = "cl.ghost";
+
+}  // namespace fixture::msg

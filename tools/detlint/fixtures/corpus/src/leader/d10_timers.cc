@@ -1,0 +1,37 @@
+// Fixture: rule D10 — timer hygiene. Deadline arithmetic must derive from
+// named duration symbols (config fields, constexpr constants, named
+// locals); an anonymous Duration literal buried in an expression has no
+// name, no unit audit, and no config surface.
+
+namespace fixture {
+
+struct Duration {
+  static Duration micros(long v);
+  static Duration millis(long v);
+  static Duration seconds(long v);
+  Duration operator+(Duration other) const;
+};
+
+struct Config {
+  // Negative: a member default *names* the quantity.
+  Duration support_interval = Duration::millis(5);
+};
+
+// Negative: a constexpr constant is the canonical way to name a literal.
+constexpr Duration kGrantSlack = Duration::micros(1);
+
+struct Service {
+  Config config_;
+  void schedule_after(Duration d, int token);
+
+  void arm() {
+    // Negative: a named local binds the literal before use.
+    Duration patience = Duration::millis(25);
+    schedule_after(patience + kGrantSlack, 1);
+    schedule_after(config_.support_interval, 2);
+    schedule_after(Duration::millis(250), 3);  // detlint-expect: D10
+    schedule_after(config_.support_interval + Duration::micros(7), 4);  // detlint-expect: D10
+  }
+};
+
+}  // namespace fixture
