@@ -49,7 +49,14 @@ bool PqlProcess::lease_active() {
     if (i == id().index()) continue;
     if (guarantee_expiry_[i] > now) ++active;
   }
-  return active > cluster_size() / 2;
+  const bool held = active > cluster_size() / 2;
+  if (held && clock_guard_.suspect()) {
+    // Degraded: the guarantees were measured on a clock the guard distrusts,
+    // so report the lease inactive and let callers take the quorum path.
+    ++stats_.lease_checks_degraded;
+    return false;
+  }
+  return held;
 }
 
 void PqlProcess::begin_write() {
@@ -90,6 +97,9 @@ void PqlProcess::maybe_finish_write() {
 }
 
 void PqlProcess::on_message(const sim::Message& message) {
+  if (clock_guard_.observe(message.sent_local, now_local(), now_real())) {
+    ++stats_.clock_suspect_transitions;
+  }
   if (message.is(msg::kPromise)) {
     send(message.from, msg::kPromiseAck,
          msg::PromiseAck{message.as<msg::Promise>().round});

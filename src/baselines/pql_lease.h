@@ -25,6 +25,7 @@
 
 #include "common/time.h"
 #include "common/types.h"
+#include "core/clock_guard.h"
 #include "sim/process.h"
 
 namespace cht::baselines {
@@ -40,6 +41,11 @@ struct PqlConfig {
   // guarantees for this long (< renewal_interval, so the next full renewal
   // round re-establishes the lease).
   Duration revoke_quiet = Duration::millis(25);
+  // Clock-health guard (core/clock_guard.h). PQL's elapsed-time timers are
+  // less clock-sensitive than synchronized-clock leases, but the simulated
+  // timers still tick on a skewable local clock, so a clock-suspect process
+  // degrades lease_active() to false (callers fall back to quorum reads).
+  core::ClockGuardConfig clock_guard;
 };
 
 namespace msg {
@@ -74,7 +80,8 @@ struct RevokeAck {
 // deployment the paper compares against).
 class PqlProcess : public sim::Process {
  public:
-  explicit PqlProcess(PqlConfig config) : config_(config) {}
+  explicit PqlProcess(PqlConfig config)
+      : config_(config), clock_guard_(config_.clock_guard) {}
 
   void on_start() override;
   // Recovers the grantor round (synced before each Promise broadcast, so a
@@ -98,8 +105,13 @@ class PqlProcess : public sim::Process {
     std::int64_t renewals_started = 0;
     std::int64_t guarantees_received = 0;
     std::int64_t revocations_received = 0;
+    // Clock guard metering: suspect-state flips, and lease_active() calls
+    // that would have answered true but were degraded to false by suspicion.
+    std::int64_t clock_suspect_transitions = 0;
+    std::int64_t lease_checks_degraded = 0;
   };
   const Stats& stats() const { return stats_; }
+  const core::ClockSkewGuard& clock_guard() const { return clock_guard_; }
 
  private:
   struct PendingWrite {
@@ -127,6 +139,7 @@ class PqlProcess : public sim::Process {
   std::int64_t writes_completed_ = 0;
 
   Stats stats_;
+  core::ClockSkewGuard clock_guard_;
 };
 
 }  // namespace cht::baselines

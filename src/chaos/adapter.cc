@@ -31,6 +31,7 @@ harness::ClusterConfig cluster_config(const RunSpec& spec) {
   // One networked client per replica slot: the driver's submit(i, op) then
   // maps 1:1 onto client i, whose home replica is i.
   config.clients = spec.client_path ? spec.n : 0;
+  config.clock_guard = spec.clock_guard;
   return config;
 }
 
@@ -69,6 +70,25 @@ class ChtreadAdapter final : public ClusterAdapter {
       }
     }
     return ids;
+  }
+  std::vector<OperationId> durable_op_ids_of(int replica) override {
+    // Durability counts everything the replica's batch store carries, not
+    // just the applied prefix: a replica revived at heal time may durably
+    // hold batches past applied_upto that it has not re-applied before the
+    // final-state check runs. The op is not lost — applying is a matter of
+    // local progress, not of surviving the crash.
+    std::vector<OperationId> ids;
+    const auto snap = cluster_.replica(replica).snapshot();
+    for (const auto& [k, batch] : snap.batches) {
+      for (const auto& bop : batch) {
+        if (!model().is_read(bop.op)) ids.push_back(bop.id);
+      }
+    }
+    return ids;
+  }
+  std::vector<core::ClockSkewGuard::Transition> guard_transitions_of(
+      int replica) override {
+    return cluster_.replica(replica).clock_guard().transitions();
   }
   int leader() override { return cluster_.steady_leader(); }
   bool await_quiesce(Duration timeout) override {
@@ -166,6 +186,10 @@ class RaftAdapter final : public ClusterAdapter {
       if (!model().is_read(log[k].op)) ids.push_back(log[k].id);
     }
     return ids;
+  }
+  std::vector<core::ClockSkewGuard::Transition> guard_transitions_of(
+      int replica) override {
+    return cluster_.replica(replica).clock_guard().transitions();
   }
   int leader() override { return cluster_.leader(); }
   bool await_quiesce(Duration timeout) override {

@@ -16,6 +16,7 @@
 #include "checker/history.h"
 #include "chaos/spec.h"
 #include "common/time.h"
+#include "core/clock_guard.h"
 #include "metrics/registry.h"
 #include "object/object.h"
 #include "sim/simulation.h"
@@ -63,6 +64,17 @@ class ClusterAdapter {
   // twice at one replica means a retry was applied twice.
   virtual std::vector<OperationId> committed_op_ids_of(int replica) = 0;
 
+  // Ids of *durable* non-read operations at one replica: everything the
+  // replica's stable state still carries, whether or not it has been applied
+  // yet. Defaults to the applied prefix; chtread overrides it with stored
+  // batch contents, because a just-restarted replica may durably hold a
+  // batch it has not re-applied when the final-state check runs (the applied
+  // prefix momentarily understates what survived the crash). The durability
+  // invariant consumes this; exactly-once keeps the strict applied prefix.
+  virtual std::vector<OperationId> durable_op_ids_of(int replica) {
+    return committed_op_ids_of(replica);
+  }
+
   // Union over all currently-live (not crashed, not recovering) replicas.
   // The durability invariant checks every acknowledged write's id is in
   // here after the run.
@@ -70,10 +82,21 @@ class ClusterAdapter {
     std::vector<OperationId> ids;
     for (int i = 0; i < n(); ++i) {
       if (crashed(i) || recovering(i)) continue;
-      std::vector<OperationId> one = committed_op_ids_of(i);
+      std::vector<OperationId> one = durable_op_ids_of(i);
       ids.insert(ids.end(), one.begin(), one.end());
     }
     return ids;
+  }
+
+  // Clock-guard suspect/requalified flips at one replica, in time order,
+  // for the current incarnation (a restart starts a fresh, non-suspect
+  // guard). Stacks without a guard (vr, clock-free raft ReadIndex state is
+  // still guarded at the replica) return empty. The exposure-window
+  // accounting in invariants.cc folds these into an all-replicas-suspect
+  // timeline; benches derive detection latency from them.
+  virtual std::vector<core::ClockSkewGuard::Transition> guard_transitions_of(
+      int /*replica*/) {
+    return {};
   }
 
   // The protocol's current notion of "the leader": steady leader (chtread),
@@ -126,8 +149,15 @@ class ForwardingAdapter : public ClusterAdapter {
   std::vector<OperationId> committed_op_ids_of(int replica) override {
     return inner_->committed_op_ids_of(replica);
   }
+  std::vector<OperationId> durable_op_ids_of(int replica) override {
+    return inner_->durable_op_ids_of(replica);
+  }
   std::vector<OperationId> committed_op_ids() override {
     return inner_->committed_op_ids();
+  }
+  std::vector<core::ClockSkewGuard::Transition> guard_transitions_of(
+      int replica) override {
+    return inner_->guard_transitions_of(replica);
   }
   int leader() override { return inner_->leader(); }
   bool await_quiesce(Duration timeout) override {

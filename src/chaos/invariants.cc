@@ -1,5 +1,6 @@
 #include "chaos/invariants.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -9,10 +10,127 @@
 #include "object/kv_object.h"
 
 namespace cht::chaos {
+namespace {
+
+// Half-open real-time interval [lo, hi).
+struct Interval {
+  RealTime lo = RealTime::zero();
+  RealTime hi = RealTime::zero();
+};
+
+// Per-replica suspect spans derived from the guard's transition record for
+// the current incarnation: the guard starts non-suspect, flips at each
+// transition, and a span still open at the end of the run closes at `end`.
+std::vector<Interval> suspect_spans(
+    const std::vector<core::ClockSkewGuard::Transition>& transitions,
+    RealTime end) {
+  std::vector<Interval> spans;
+  bool suspect = false;
+  RealTime open = RealTime::zero();
+  for (const auto& t : transitions) {
+    if (t.suspect && !suspect) {
+      suspect = true;
+      open = t.at;
+    } else if (!t.suspect && suspect) {
+      suspect = false;
+      spans.push_back({open, t.at});
+    }
+  }
+  if (suspect) spans.push_back({open, end});
+  return spans;
+}
+
+std::vector<Interval> intersect(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const RealTime lo = std::max(a[i].lo, b[j].lo);
+    const RealTime hi = std::min(a[i].hi, b[j].hi);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+// `window` minus the (sorted, disjoint) intervals in `cut`.
+std::vector<Interval> subtract(Interval window,
+                               const std::vector<Interval>& cut) {
+  std::vector<Interval> out;
+  RealTime cursor = window.lo;
+  for (const auto& c : cut) {
+    if (c.hi <= cursor || c.lo >= window.hi) continue;
+    if (c.lo > cursor) out.push_back({cursor, std::min(c.lo, window.hi)});
+    cursor = std::max(cursor, c.hi);
+    if (cursor >= window.hi) break;
+  }
+  if (cursor < window.hi) out.push_back({cursor, window.hi});
+  return out;
+}
+
+// The real-time spans during which a stale read is *tolerable* with the
+// clock guard on: synchrony is broken (or its effects may still linger) and
+// not every replica has noticed yet.
+//
+//   skew_active = [first injection, heal + drain)
+//   drain       = skew_max + 14*delta + epsilon
+//
+// The drain term bounds how long skew effects outlive the heal: a
+// monotonicity-clamped (frozen) fast clock lags real time by up to skew_max
+// after its offset is restored; a lease issued at the last skewed instant
+// stays nominally valid for up to 12*delta (chtread lease_period; Raft's
+// 10*delta lease is shorter); one message flight of delta can still deliver
+// a stale-based reply; plus delta + epsilon margin.
+//
+// Within skew_active, instants where *every* replica's guard is suspect are
+// carved out: no lease read is served anywhere then (every stack degrades
+// to its clock-free path), so a stale read completed wholly inside such an
+// instant is a real bug, not exposure. Replicas that restarted lose their
+// incarnation's transitions and conservatively count as never-suspect,
+// which only shrinks the carve-out (more reads excused, never fewer).
+std::vector<Interval> exposed_spans(ClusterAdapter& cluster,
+                                    const ExposureInput& exposure,
+                                    RealTime end) {
+  if (exposure.first_skew == RealTime::max()) return {};
+  const Duration drain =
+      exposure.skew_max + 14 * exposure.delta + exposure.epsilon;
+  const RealTime close = exposure.heal_time == RealTime::max()
+                             ? RealTime::max()
+                             : std::min(exposure.heal_time + drain, end);
+  const Interval window{exposure.first_skew, std::min(close, end)};
+  if (!(window.lo < window.hi)) return {};
+  std::vector<Interval> all_suspect = suspect_spans(
+      cluster.guard_transitions_of(0), end);
+  for (int i = 1; i < cluster.n() && !all_suspect.empty(); ++i) {
+    all_suspect =
+        intersect(all_suspect, suspect_spans(cluster.guard_transitions_of(i), end));
+  }
+  return subtract(window, all_suspect);
+}
+
+// A completed read is excused iff its [invoked, responded] span touches an
+// exposed span: it *may* have been served off a lease measured on a broken
+// clock before detecting evidence arrived.
+bool excused(const checker::HistoryOp& op, const object::ObjectModel& model,
+             const std::vector<Interval>& exposed) {
+  if (!op.completed() || !model.is_read(op.op)) return false;
+  for (const auto& span : exposed) {
+    if (op.invoked < span.hi && *op.responded >= span.lo) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 InvariantReport check_invariants(ClusterAdapter& cluster,
                                  const NemesisProfile& profile, bool quiesced,
-                                 std::size_t check_budget) {
+                                 std::size_t check_budget,
+                                 const ExposureInput& exposure) {
   InvariantReport report;
   std::vector<std::string>& violations = report.violations;
 
@@ -79,21 +197,47 @@ InvariantReport check_invariants(ClusterAdapter& cluster,
     }
   }
 
+  // Exposure spans: empty unless this run both tolerates stale reads and
+  // ran the clock-health guard (then a stale read is excusable only inside
+  // them).
+  const bool exposure_mode =
+      profile.allows_stale_reads && exposure.clock_guard;
+  const std::vector<Interval> exposed =
+      exposure_mode ? exposed_spans(cluster, exposure, cluster.sim().now())
+                    : std::vector<Interval>{};
+
   // Read-your-writes (KV histories only). Implied by linearizability, but
   // checked separately: it is linear-time (so it still decides when the
   // checker below exhausts its budget) and names the offending client and
-  // value when it fires. Skipped when clock skew legally permits stale
-  // reads — a stale local read may miss the reader's own write.
-  if (!profile.allows_stale_reads &&
+  // value when it fires. With the guard off, skipped when clock skew
+  // legally permits stale reads (a stale local read may miss the reader's
+  // own write); with the guard on, checked with exposure-excused reads
+  // removed — outside the window, reads must be fresh again.
+  if ((!profile.allows_stale_reads || exposure_mode) &&
       dynamic_cast<const object::KVObject*>(&cluster.model()) != nullptr) {
-    for (auto& v : checker::check_read_your_writes(cluster.history().ops())) {
+    std::vector<checker::HistoryOp> ryw_ops;
+    for (const auto& op : cluster.history().ops()) {
+      if (!excused(op, cluster.model(), exposed)) ryw_ops.push_back(op);
+    }
+    for (auto& v : checker::check_read_your_writes(ryw_ops)) {
       violations.push_back(std::move(v));
     }
   }
 
-  // Linearizability. Clock skew beyond epsilon may legally yield stale
-  // reads; the paper still guarantees the RMW sub-history.
-  if (profile.allows_stale_reads) {
+  // Linearizability. Clock skew beyond epsilon may yield stale reads; what
+  // that legally means depends on the clock-health guard:
+  //
+  //   guard ON   two-pass exposure accounting. Pass 1 checks the full
+  //              history (most runs pass outright: the skew never produced
+  //              an anomaly or the guard caught it first). On failure,
+  //              pass 2 drops the exposure-excused reads and re-checks —
+  //              dropping operations from a linearizable history keeps it
+  //              linearizable, so this only ever forgives, never convicts.
+  //              A failure that survives pass 2 is a stale read *outside*
+  //              its exposure window (or an RMW anomaly): a real bug.
+  //   guard OFF  legacy fallback: only the RMW sub-history is guaranteed
+  //              (the paper's Section 1 robustness claim).
+  if (profile.allows_stale_reads && !exposure_mode) {
     const auto rmw = checker::check_rmw_subhistory_linearizable(
         cluster.model(), cluster.history().ops(), check_budget);
     if (!rmw.decided) {
@@ -107,8 +251,29 @@ InvariantReport check_invariants(ClusterAdapter& cluster,
         cluster.model(), cluster.history().ops(), check_budget);
     if (!full.decided) {
       report.checker_decided = false;
-    } else if (!full.linearizable) {
+    } else if (!full.linearizable && !exposure_mode) {
       violations.push_back("history not linearizable: " + full.explanation);
+    } else if (!full.linearizable) {
+      std::vector<checker::HistoryOp> filtered;
+      std::size_t dropped = 0;
+      for (const auto& op : cluster.history().ops()) {
+        if (excused(op, cluster.model(), exposed)) {
+          ++dropped;
+        } else {
+          filtered.push_back(op);
+        }
+      }
+      const auto pass2 = checker::check_linearizable(
+          cluster.model(), std::move(filtered), check_budget);
+      if (!pass2.decided) {
+        report.checker_decided = false;
+      } else if (!pass2.linearizable) {
+        violations.push_back(
+            "history not linearizable outside clock-skew exposure windows: " +
+            pass2.explanation);
+      } else {
+        report.reads_excused = dropped;
+      }
     }
   }
 

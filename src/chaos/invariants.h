@@ -2,10 +2,17 @@
 // in one place, shared by the seed sweeper, the fuzzer CLI and the ctest
 // chaos suites.
 //
-//   linearizability      full history through the object model; under
+//   linearizability      full history through the object model. Under
 //                        profiles that legally break read freshness (clock
-//                        skew beyond epsilon) the RMW sub-history is checked
-//                        instead (the paper's Section 1 robustness claim)
+//                        skew beyond epsilon) the treatment depends on the
+//                        clock-health guard: with the guard ON, stale reads
+//                        are only excused inside the bounded *exposure
+//                        window* between skew injection and the arrival of
+//                        detecting evidence (two-pass check: full history
+//                        first, then with excused reads dropped); with the
+//                        guard OFF, the legacy fallback checks only the RMW
+//                        sub-history (the paper's Section 1 robustness
+//                        claim)
 //   liveness             after the nemesis healed every fault and the run
 //                        quiesced, an operation may remain pending only if
 //                        its submitting process crashed while it was open
@@ -32,13 +39,40 @@ struct InvariantReport {
   // False iff the linearizability search exhausted `check_budget` before
   // reaching a verdict: the run is neither pass nor fail on that axis.
   bool checker_decided = true;
+  // Completed reads excused by the exposure-window second pass (0 when the
+  // full history linearized outright, or when the guard/profile made the
+  // exposure accounting inapplicable).
+  std::size_t reads_excused = 0;
+};
+
+// What the exposure-window accounting needs to know about the run: whether
+// the replicas ran the clock-health guard, the synchrony parameters, and
+// when the nemesis first broke and finally restored clock synchrony. The
+// default (clock_guard = false, no skew) reproduces the legacy behavior
+// exactly.
+struct ExposureInput {
+  bool clock_guard = false;  // RunSpec::clock_guard of the run
+  Duration delta = Duration::zero();
+  Duration epsilon = Duration::zero();
+  // The profile's clock_skew_max: upper bound on any injected offset, and
+  // on how long a monotonicity-clamped (frozen) clock lags real time after
+  // the heal restored its offset.
+  Duration skew_max = Duration::zero();
+  // Earliest clock-offset injection; RealTime::max() = clocks never skewed
+  // (no window: the full history must linearize even under an
+  // allows_stale_reads profile).
+  RealTime first_skew = RealTime::max();
+  // When Nemesis::stop_and_heal restored every clock offset.
+  RealTime heal_time = RealTime::max();
 };
 
 // Runs the full registry. `quiesced` is the result of await_quiesce after
 // Nemesis::stop_and_heal(); `check_budget` bounds the linearizability
-// search's explored states (0 = unlimited).
+// search's explored states (0 = unlimited); `exposure` feeds the
+// exposure-window accounting under allows_stale_reads profiles.
 InvariantReport check_invariants(ClusterAdapter& cluster,
                                  const NemesisProfile& profile, bool quiesced,
-                                 std::size_t check_budget = 0);
+                                 std::size_t check_budget = 0,
+                                 const ExposureInput& exposure = {});
 
 }  // namespace cht::chaos

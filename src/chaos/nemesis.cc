@@ -88,6 +88,22 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
     p.allows_stale_reads = true;
     return p;
   }
+  if (name == "degraded-reads") {
+    // Pure clock torture aimed at the clock-health guard: faster fault
+    // ticks than any other profile and skew up to 8x epsilon, with no
+    // partition/isolation noise so every anomaly on the read path traces
+    // back to clocks. Reads are still marked stale-tolerant — but with the
+    // guard on, the exposure-window accounting only excuses a stale read
+    // served inside the bounded window before detecting evidence lands
+    // (see invariants.cc).
+    p.tick_min = 8 * delta;
+    p.tick_max = 20 * delta;
+    p.w_clock_skew = 1.0;
+    p.w_link_delay = 0.15;
+    p.clock_skew_max = 8 * epsilon;
+    p.allows_stale_reads = true;
+    return p;
+  }
   CHT_ASSERT(false, "unknown nemesis profile");
   return p;
 }
@@ -95,7 +111,7 @@ NemesisProfile nemesis_profile(const std::string& name, Duration delta,
 const std::vector<std::string>& known_profiles() {
   static const std::vector<std::string> kProfiles = {
       "calm", "rolling-partitions", "leader-hunter", "clock-storm",
-      "power-cycle", "crash-loop"};
+      "power-cycle", "crash-loop", "degraded-reads"};
   return kProfiles;
 }
 
@@ -245,6 +261,7 @@ void Nemesis::act() {
       if (bound == 0) break;
       const Duration offset = Duration::micros(rng_.next_in(-bound, bound));
       skewed_.insert(a);
+      skew_events_.push_back({sim.now(), a, offset});
       sim.set_clock_offset(ProcessId(a), offset);
       note("clock p" + std::to_string(a) + " offset " +
            std::to_string(offset.to_millis_f()) + "ms");
@@ -377,6 +394,11 @@ void Nemesis::stop_and_heal() {
     // Zero is within epsilon/2 of real time, hence within epsilon of every
     // untouched clock; monotonicity clamping absorbs backward moves.
     sim.set_clock_offset(ProcessId(p), Duration::zero());
+    // Log each restoration so a repro artifact shows when the schedule
+    // stopped holding a clock off-true (the exposure window closes a drain
+    // interval after this point). Fingerprints do not hash the schedule
+    // log, so these lines are replay-safe.
+    note("clock p" + std::to_string(p) + " offset restored to 0ms");
   }
   skewed_.clear();
   if (duplication_on_) {

@@ -94,9 +94,20 @@ struct NemesisProfile {
 
 // Built-in profiles, scaled to the run's delta/epsilon: "calm",
 // "rolling-partitions", "leader-hunter", "clock-storm", "power-cycle",
-// "crash-loop".
+// "crash-loop", "degraded-reads".
 NemesisProfile nemesis_profile(const std::string& name, Duration delta,
                                Duration epsilon);
+
+// One clock-offset injection, as recorded by the schedule: when, whom, and
+// the absolute offset the victim's clock was bumped to. The exposure-window
+// accounting (invariants.cc) uses the earliest event as the instant
+// synchrony first broke; benches derive guard detection latency from these
+// against ClusterAdapter::guard_transitions_of.
+struct SkewEvent {
+  RealTime at = RealTime::zero();
+  int process = -1;
+  Duration offset = Duration::zero();
+};
 
 class Nemesis {
  public:
@@ -117,6 +128,9 @@ class Nemesis {
   const std::vector<std::string>& schedule_log() const { return log_; }
   int crashes() const { return crashes_; }
   int restarts() const { return restarts_; }
+  // Every clock-offset bump performed, in injection order (empty under
+  // profiles with zero clock_skew_max).
+  const std::vector<SkewEvent>& skew_events() const { return skew_events_; }
 
  private:
   void tick();
@@ -140,6 +154,7 @@ class Nemesis {
   std::set<std::pair<int, int>> cut_links_;
   std::set<int> isolated_;
   std::set<int> skewed_;
+  std::vector<SkewEvent> skew_events_;
   int crashes_ = 0;
   int restarts_ = 0;
   // Processes with a bounce-scheduled restart still pending; membership is

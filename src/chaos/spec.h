@@ -50,6 +50,16 @@ struct RunSpec {
   // directly at replica slots), kept for old corpus pins and A/B runs.
   bool client_path = true;
 
+  // Clock-health guard (core/clock_guard.h): when true (the default),
+  // replicas watch message stamps for epsilon-synchrony violations and
+  // degrade lease reads to a clock-free path while suspect. With the guard
+  // on, a stale read is only tolerated inside the bounded exposure window
+  // between skew injection and the arrival of detecting evidence (see
+  // invariants.cc); with it off, profiles with allows_stale_reads fall back
+  // to the legacy RMW-sub-history check. Old repro artifacts carry no
+  // clock_guard key and replay with it off.
+  bool clock_guard = true;
+
   // Workload shape.
   int ops = 80;
   double read_fraction = 0.5;

@@ -130,6 +130,7 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
         driver.next_in(spec.op_gap_min_ms, spec.op_gap_max_ms);
     cluster.run_for(Duration::millis(pre_gst ? gap * 3 : gap));
   }
+  const RealTime heal_time = cluster.sim().now();
   nemesis.stop_and_heal();
   result.quiesced =
       cluster.await_quiesce(Duration::seconds(spec.quiesce_timeout_s));
@@ -137,18 +138,34 @@ RunResult run_one(const RunSpec& spec, const AdapterHook& hook) {
   // leader needs a few heartbeats to learn it was deposed).
   cluster.run_for(kSettleSlack);
 
+  const NemesisProfile profile =
+      nemesis_profile(spec.profile, spec.delta(), spec.epsilon());
+  ExposureInput exposure;
+  exposure.clock_guard = spec.clock_guard;
+  exposure.delta = spec.delta();
+  exposure.epsilon = spec.epsilon();
+  exposure.skew_max = profile.clock_skew_max;
+  if (!nemesis.skew_events().empty()) {
+    exposure.first_skew = nemesis.skew_events().front().at;
+    exposure.heal_time = heal_time;
+  }
   InvariantReport report = check_invariants(
-      cluster, nemesis_profile(spec.profile, spec.delta(), spec.epsilon()),
-      result.quiesced,
-      spec.check_budget > 0 ? static_cast<std::size_t>(spec.check_budget) : 0);
+      cluster, profile, result.quiesced,
+      spec.check_budget > 0 ? static_cast<std::size_t>(spec.check_budget) : 0,
+      exposure);
   result.violations = std::move(report.violations);
   result.checker_decided = report.checker_decided;
+  result.reads_excused = report.reads_excused;
   result.submitted = cluster.submitted();
   result.completed = cluster.completed();
   result.leadership_changes = cluster.leadership_changes();
   result.crashes = nemesis.crashes();
   result.restarts = nemesis.restarts();
   result.nemesis_schedule = nemesis.schedule_log();
+  result.skew_events = nemesis.skew_events();
+  for (int i = 0; i < cluster.n(); ++i) {
+    result.guard_transitions.push_back(cluster.guard_transitions_of(i));
+  }
   const auto& events = cluster.sim().trace().events();
   const std::size_t start =
       events.size() > kTraceTail ? events.size() - kTraceTail : 0;
@@ -197,6 +214,7 @@ bool write_artifact(const std::string& path, const RunResult& result) {
       << "unsynced_key_loss=" << format_double(s.unsynced_key_loss) << "\n"
       << "group_commit=" << (s.group_commit ? 1 : 0) << "\n"
       << "client_path=" << (s.client_path ? 1 : 0) << "\n"
+      << "clock_guard=" << (s.clock_guard ? 1 : 0) << "\n"
       << "ops=" << s.ops << "\n"
       << "read_fraction=" << format_double(s.read_fraction) << "\n"
       << "key_skew=" << format_double(s.key_skew) << "\n"
@@ -209,7 +227,8 @@ bool write_artifact(const std::string& path, const RunResult& result) {
       << "fingerprint=" << result.fingerprint << "\n"
       << "quiesced=" << (result.quiesced ? 1 : 0) << "\n"
       << "crashes=" << result.crashes << "\n"
-      << "restarts=" << result.restarts << "\n";
+      << "restarts=" << result.restarts << "\n"
+      << "reads_excused=" << result.reads_excused << "\n";
   out << "\n[violations]\n";
   for (const auto& v : result.violations) out << v << "\n";
   out << "\n[nemesis-schedule]\n";
@@ -226,8 +245,11 @@ std::optional<Artifact> load_artifact(const std::string& path) {
   if (!in) return std::nullopt;
   Artifact artifact;
   // Artifacts written before the client path existed carry no client_path
-  // key; they must replay as the legacy colocated runs they recorded.
+  // key; they must replay as the legacy colocated runs they recorded. The
+  // same applies to the clock guard: pre-guard artifacts recorded runs with
+  // no guard in the replicas, so they replay with it off.
   artifact.spec.client_path = false;
+  artifact.spec.clock_guard = false;
   bool saw_protocol = false;
   std::string line;
   while (std::getline(in, line)) {
@@ -251,6 +273,7 @@ std::optional<Artifact> load_artifact(const std::string& path) {
     else if (key == "unsynced_key_loss") s.unsynced_key_loss = std::stod(value);
     else if (key == "group_commit") s.group_commit = std::stoi(value) != 0;
     else if (key == "client_path") s.client_path = std::stoi(value) != 0;
+    else if (key == "clock_guard") s.clock_guard = std::stoi(value) != 0;
     else if (key == "ops") s.ops = std::stoi(value);
     else if (key == "read_fraction") s.read_fraction = std::stod(value);
     else if (key == "key_skew") s.key_skew = std::stod(value);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chaos/adapter.h"
+#include "chaos/nemesis.h"
 #include "chaos/spec.h"
 
 namespace cht::chaos {
@@ -49,6 +50,15 @@ struct RunResult {
   // Power-ups performed by the nemesis (restart/bounce actions plus the
   // end-of-run revival under power-cycling profiles).
   int restarts = 0;
+  // Completed reads the exposure-window accounting had to excuse for the
+  // verdict (see invariants.h). Nonzero only under allows_stale_reads
+  // profiles with the clock guard on whose full history failed pass 1.
+  std::size_t reads_excused = 0;
+  // Clock-offset injections performed by the nemesis, in injection order,
+  // and each replica's guard transitions (final incarnation) — together
+  // enough to derive guard detection latency offline (bench_robustness).
+  std::vector<SkewEvent> skew_events;
+  std::vector<std::vector<core::ClockSkewGuard::Transition>> guard_transitions;
   std::string fingerprint;
   std::vector<std::string> nemesis_schedule;
   std::vector<std::string> trace_tail;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "core/clock_guard.h"
 #include "leader/enhanced_leader.h"
 #include "leader/omega.h"
 
@@ -89,6 +90,11 @@ struct Config {
   leader::OmegaConfig omega;
   leader::EnhancedLeaderConfig els;
 
+  // Runtime detection of broken epsilon-synchrony (clock_guard.h). While a
+  // replica is clock-suspect its lease reads degrade to the RMW/consensus
+  // path; disable to reproduce the paper's assume-synchrony behaviour.
+  ClockGuardConfig clock_guard;
+
   // Whether each replica's metrics::Registry records anything. Metrics never
   // feed back into protocol decisions, so this flag cannot change simulation
   // behaviour (asserted by test_observability's determinism check).
@@ -112,6 +118,7 @@ struct Config {
     c.els.support_interval = delta;
     c.els.support_duration = 8 * delta;
     c.els.history_horizon = 100 * delta;
+    c.clock_guard = ClockGuardConfig::defaults_for(delta, epsilon);
     return c;
   }
 

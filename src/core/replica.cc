@@ -58,7 +58,8 @@ Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
       omega_(*this, config_.omega),
       els_(*this, [this] { return omega_.leader(); }, config_.els),
       metrics_(config_.metrics_enabled),
-      gateway_(*this, &metrics_) {
+      gateway_(*this, &metrics_),
+      clock_guard_(config_.clock_guard) {
   client::ReplicaGateway::Hooks hooks;
   // Any chtread replica accepts RMWs: rmw_send forwards them to the believed
   // leader with retries, so the client never needs to find the leader itself.
@@ -100,6 +101,8 @@ Replica::Replica(std::shared_ptr<const object::ObjectModel> model,
   c_recoveries_ = &metrics_.counter("recoveries");
   c_recovered_batches_ = &metrics_.counter("recovery_batches_replayed");
   span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
+  c_clock_transitions_ = &metrics_.counter("clock.suspect_transitions");
+  c_reads_degraded_ = &metrics_.counter("reads.degraded");
 }
 
 void Replica::end_span(metrics::Span& span, const char* name) {
@@ -120,6 +123,8 @@ Replica::Snapshot Replica::snapshot() {
   s.pending_reads = pending_reads_.size();
   s.pending_rmws = pending_rmw_.size();
   s.forwarded_reads = forwarded_reads_.size();
+  s.clock_suspect = clock_guard_.suspect();
+  s.clock_suspect_transitions = clock_guard_.transitions().size();
   return s;
 }
 
@@ -233,7 +238,19 @@ void Replica::complete_rmw(const OperationId& id,
   auto node = pending_rmw_.extract(id);
   if (node.empty()) return;
   node.mapped().retry_timer.cancel();
-  c_rmws_completed_->inc();
+  if (node.mapped().is_read) {
+    // A degraded read that rode the RMW path to commit: account it as the
+    // read it is, including its full invocation-to-completion wait.
+    c_reads_completed_->inc();
+    const std::int64_t blocked_us =
+        (now_real() - node.mapped().invoked).to_micros();
+    h_read_block_->record(blocked_us);
+    if (tracing()) {
+      trace_event("span.read.block", "us=" + std::to_string(blocked_us));
+    }
+  } else {
+    c_rmws_completed_->inc();
+  }
   if (node.mapped().callback) node.mapped().callback(response);
 }
 
@@ -249,6 +266,17 @@ void Replica::submit_read(object::Operation op, Callback callback) {
         id, ForwardedRead{std::move(op), std::move(callback), now_real(),
                           sim::EventHandle()});
     forward_read_send(id);
+    return;
+  }
+  if (clock_guard_.suspect() &&
+      config_.read_policy != ReadPolicy::kUnsafeLocal) {
+    // Clock-suspect: the lease fast path (and every other clock-dependent
+    // read policy) is off the table until the guard re-qualifies. Push the
+    // read through consensus instead — slower, but correct under arbitrary
+    // skew. kUnsafeLocal stays unguarded: it exists to demonstrate the
+    // lower-bound violation and must keep misbehaving.
+    c_reads_blocked_->inc();
+    submit_read_degraded(std::move(op), std::move(callback), now_real());
     return;
   }
   pending_reads_.push_back(
@@ -274,6 +302,14 @@ bool Replica::batch_conflicts_with(const object::Operation& read,
 bool Replica::try_advance_read(PendingRead& read) {
   if (config_.read_policy == ReadPolicy::kUnsafeLocal) {
     read.khat = 0;  // no waiting whatsoever; see config.h for why this exists
+  }
+  if (clock_guard_.suspect() && !read.khat.has_value()) {
+    // Every k-hat source below trusts this replica's clock (the leader
+    // shortcut via AmLeader, lease validity, the safe-time beacon compare).
+    // While suspect none of them may serve; guard_observe reroutes pending
+    // reads through consensus on the trip, so this is only reached by a
+    // read racing the flip inside a single delivery.
+    return false;
   }
   if (config_.read_policy == ReadPolicy::kSafeTime && !read.khat.has_value()) {
     // Spanner option (b): read at timestamp `stamp`; serve once the safe
@@ -338,6 +374,49 @@ void Replica::try_advance_reads() {
   for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
     it = try_advance_read(*it) ? pending_reads_.erase(it) : std::next(it);
   }
+}
+
+// ===========================================================================
+// Clock-health guard (synchrony self-defense; see clock_guard.h)
+// ===========================================================================
+
+void Replica::guard_observe(const sim::Message& message) {
+  if (!clock_guard_.observe(message.sent_local, now_local(), now_real())) {
+    return;
+  }
+  c_clock_transitions_->inc();
+  if (tracing()) {
+    trace_event("clock.guard",
+                clock_guard_.suspect() ? "suspect" : "requalified");
+  }
+  if (!clock_guard_.suspect()) return;
+  // Trip: reads already waiting on the lease path computed (or will compute)
+  // k-hat from a clock we no longer trust. Reroute every one of them through
+  // consensus — their callbacks move over, so each still fires exactly once.
+  std::list<PendingRead> rerouted;
+  rerouted.swap(pending_reads_);
+  for (PendingRead& read : rerouted) {
+    // Reads that already failed to advance once were counted blocked then.
+    if (!read.counted_blocked) c_reads_blocked_->inc();
+    submit_read_degraded(std::move(read.op), std::move(read.callback),
+                         read.invoked);
+  }
+}
+
+void Replica::submit_read_degraded(object::Operation op, Callback callback,
+                                   RealTime invoked) {
+  c_reads_degraded_->inc();
+  // Degraded reads share read_seq_ but set bit 39: the id lands in the
+  // committed-op dedup map next to RMW ids built from the same
+  // incarnation<<40 base, so the sequence spaces must stay disjoint.
+  const OperationId id{this->id(),
+                       (std::int64_t{1} << 39) | ++read_seq_};
+  auto [it, inserted] = pending_rmw_.try_emplace(
+      id, PendingRmw{std::move(op), std::move(callback), sim::EventHandle(),
+                     /*is_read=*/true, invoked});
+  CHT_ASSERT(inserted, "duplicate degraded-read id");
+  (void)it;
+  rmw_send(id);
 }
 
 // ===========================================================================
@@ -720,6 +799,13 @@ void Replica::steady_tick() {
 }
 
 void Replica::issue_leases(LocalTime now) {
+  if (clock_guard_.suspect()) {
+    // A suspect leader must not grant: its issue stamps could sit far in
+    // holders' futures, stretching their validity windows past the expiry
+    // the commit gate waits out. Holders' leases lapse within lease_period
+    // and their reads block (or degrade) until this clock re-qualifies.
+    return;
+  }
   if (last_lease_issued_ != LocalTime::min() &&
       now - last_lease_issued_ < config_.lease_renew_interval) {
     return;
@@ -761,6 +847,10 @@ void Replica::maybe_start_next_batch() {
 // ===========================================================================
 
 void Replica::on_message(const sim::Message& message) {
+  // Every delivery is skew evidence, whichever module consumes the payload:
+  // the guard must see the failure-detector heartbeats too, since they are
+  // the steadiest stamp stream a quiet replica receives.
+  guard_observe(message);
   if (omega_.handle_message(message)) return;
   if (els_.handle_message(message)) return;
   if (gateway_.handle(message)) return;
@@ -833,6 +923,10 @@ void Replica::forward_read_send(const OperationId& id) {
 void Replica::on_read_request(ProcessId from, const msg::ReadRequest& request) {
   // Serve only as a verified steady leader: the leader's applied state
   // reflects every committed batch, so evaluating there is linearizable.
+  // "Verified" leans on AmLeader's clock arithmetic, so a clock-suspect
+  // leader stays silent too — the forwarder retries against the (possibly
+  // new) believed leader rather than trusting a stale verdict here.
+  if (clock_guard_.suspect()) return;
   if (!is_steady_leader() || applied_upto_ < leader_next_batch_ - 1) return;
   const object::Response response = model_->apply(*state_, request.op);
   if (from == id()) {

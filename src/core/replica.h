@@ -103,6 +103,11 @@ class Replica : public sim::Process {
     std::size_t pending_reads = 0;
     std::size_t pending_rmws = 0;
     std::size_t forwarded_reads = 0;
+    // Clock-health guard (clock_guard.h): whether this replica currently
+    // distrusts its clock (lease reads degraded to the RMW path) and how
+    // many times the state has flipped.
+    bool clock_suspect = false;
+    std::size_t clock_suspect_transitions = 0;
   };
   // Non-const: steady_leader evaluates AmLeader against the current clock.
   Snapshot snapshot();
@@ -119,6 +124,9 @@ class Replica : public sim::Process {
   const object::ObjectModel& model() const { return *model_; }
   leader::EnhancedLeaderService& leader_service() { return els_; }
   const Config& config() const { return config_; }
+  // Clock-health guard state, exposed for the chaos checker's
+  // exposure-window accounting and for tests.
+  const ClockSkewGuard& clock_guard() const { return clock_guard_; }
 
  private:
   // --- Leader state machine -------------------------------------------------
@@ -140,6 +148,10 @@ class Replica : public sim::Process {
     object::Operation op;
     Callback callback;
     sim::EventHandle retry_timer;
+    // Degraded read riding the RMW path while this replica is clock-suspect:
+    // counted as a read on completion, not as an RMW.
+    bool is_read = false;
+    RealTime invoked = RealTime::min();
   };
 
   struct PendingRead {
@@ -216,6 +228,11 @@ class Replica : public sim::Process {
   BatchNumber fetch_target() const;
   void try_advance_reads();
   bool try_advance_read(PendingRead& read);
+  // Clock-health guard: feed one received message's stamp pair; on a trip,
+  // reroute the lease reads already pending here through the safe path.
+  void guard_observe(const sim::Message& message);
+  void submit_read_degraded(object::Operation op, Callback callback,
+                            RealTime invoked);
   bool batch_conflicts_with(const object::Operation& read,
                             const Batch& batch) const;
   int majority() const { return cluster_size() / 2 + 1; }
@@ -245,6 +262,8 @@ class Replica : public sim::Process {
   metrics::Span span_leader_reign_;     // become_leader -> abdicate
   metrics::Counter* c_recoveries_;
   metrics::Counter* c_recovered_batches_;
+  metrics::Counter* c_clock_transitions_;
+  metrics::Counter* c_reads_degraded_;
   metrics::Span span_recovery_;         // restart -> first live-protocol sign
   // Ends a protocol-phase span and mirrors it into sim::Trace.
   void end_span(metrics::Span& span, const char* name);
@@ -265,6 +284,7 @@ class Replica : public sim::Process {
   // deterministic by construction (detlint rule D3).
   std::map<OperationId, BatchNumber> committed_op_batch_;
   std::optional<Lease> lease_;
+  ClockSkewGuard clock_guard_;
 
   // --- Client-side state (thread 1) ---
   std::int64_t rmw_seq_ = 0;

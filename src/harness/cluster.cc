@@ -11,6 +11,7 @@ Cluster::Cluster(ClusterConfig config,
       core_config_(core::Config::defaults_for(config.delta, config.epsilon)),
       sim_(config.to_sim_config()),
       clients_(sim_) {
+  core_config_.clock_guard.enabled = config_.clock_guard;
   overrides_.apply(core_config_);
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(std::make_unique<core::Replica>(model_, core_config_));

@@ -31,6 +31,11 @@ struct CommonConfig {
   // operation through one of them, so requests cross the simulated network
   // and retries/redirects/session dedup are on the path.
   int clients = 0;
+  // Clock-health guard (core/clock_guard.h): when true, replicas detect
+  // broken epsilon-synchrony from message stamps and degrade lease reads to
+  // a clock-free path while suspect. Off reproduces the assume-synchrony
+  // behaviour (and is what legacy repro artifacts replay with).
+  bool clock_guard = true;
 
   sim::SimulationConfig to_sim_config() const {
     sim::SimulationConfig sc;

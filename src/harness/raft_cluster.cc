@@ -11,6 +11,9 @@ RaftCluster::RaftCluster(ClusterConfig config,
       sim_(config.to_sim_config()),
       clients_(sim_) {
   raft_config_.read_mode = read_mode;
+  raft_config_.clock_guard =
+      core::ClockGuardConfig::defaults_for(config.delta, config.epsilon);
+  raft_config_.clock_guard.enabled = config_.clock_guard;
   for (int i = 0; i < config_.n; ++i) {
     sim_.add_process(
         std::make_unique<raft::RaftReplica>(model_, raft_config_));

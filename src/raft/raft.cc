@@ -36,12 +36,17 @@ LogEntry decode_entry(const std::string& record) {
 
 RaftReplica::RaftReplica(std::shared_ptr<const object::ObjectModel> model,
                          RaftConfig config)
-    : model_(std::move(model)), config_(config), gateway_(*this, &metrics_) {
+    : model_(std::move(model)),
+      config_(config),
+      clock_guard_(config_.clock_guard),
+      gateway_(*this, &metrics_) {
   span_election_ = metrics::Span(&metrics_.histogram("span.election_us"));
   h_readindex_round_ = &metrics_.histogram("span.readindex.round_us");
   c_recoveries_ = &metrics_.counter("recoveries");
   c_recovered_entries_ = &metrics_.counter("recovery_log_replayed");
   span_recovery_ = metrics::Span(&metrics_.histogram("span.recovery_us"));
+  c_clock_transitions_ = &metrics_.counter("clock.suspect_transitions");
+  c_reads_degraded_ = &metrics_.counter("reads.degraded");
 
   client::ReplicaGateway::Hooks hooks;
   hooks.accepts_rmw = [this] { return role_ == Role::kLeader; };
@@ -517,8 +522,13 @@ void RaftReplica::on_client_rmw(ProcessId /*from*/, const msg::ClientRmw& rmw) {
 
 void RaftReplica::on_client_read(ProcessId from, const msg::ClientRead& read) {
   if (role_ != Role::kLeader) return;  // submitter retries
-  if (config_.read_mode == ReadMode::kLeaderLease && lease_valid() &&
-      last_applied_ >= commit_index_) {
+  if (config_.read_mode == ReadMode::kLeaderLease && clock_guard_.suspect()) {
+    // Degraded: lease validity is clock arithmetic this replica no longer
+    // trusts; fall through to the clock-free ReadIndex round below.
+    ++stats_.reads_degraded;
+    c_reads_degraded_->inc();
+  } else if (config_.read_mode == ReadMode::kLeaderLease && lease_valid() &&
+             last_applied_ >= commit_index_) {
     ++stats_.reads_served_by_lease;
     const object::Response response = model_->apply(*state_, read.op);
     const msg::ReadReply reply{read.id, response};
@@ -599,6 +609,13 @@ void RaftReplica::answer_read(const PendingLeaderRead& read) {
 // ===========================================================================
 
 void RaftReplica::on_message(const sim::Message& message) {
+  if (clock_guard_.observe(message.sent_local, now_local(), now_real())) {
+    c_clock_transitions_->inc();
+    if (tracing()) {
+      trace_event("clock.guard",
+                  clock_guard_.suspect() ? "suspect" : "requalified");
+    }
+  }
   if (gateway_.handle(message)) return;
   if (message.is(msg::kRequestVote)) {
     on_request_vote(message.from, message.as<msg::RequestVote>());

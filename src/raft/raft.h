@@ -35,6 +35,7 @@
 #include "client/gateway.h"
 #include "common/time.h"
 #include "common/types.h"
+#include "core/clock_guard.h"
 #include "metrics/registry.h"
 #include "metrics/span.h"
 #include "object/object.h"
@@ -50,6 +51,10 @@ struct RaftConfig {
   Duration election_timeout_max = Duration::millis(200);
   Duration client_retry = Duration::millis(40);
   ReadMode read_mode = ReadMode::kReadIndex;
+  // Clock-health guard (core/clock_guard.h). Only kLeaderLease reads depend
+  // on clocks, so only they degrade (to the ReadIndex round) while the
+  // leader is clock-suspect; kReadIndex is clock-free already.
+  core::ClockGuardConfig clock_guard;
 
   static RaftConfig defaults_for(Duration delta) {
     RaftConfig c;
@@ -156,6 +161,7 @@ class RaftReplica : public sim::Process {
     std::int64_t reads_submitted = 0;
     std::int64_t reads_completed = 0;
     std::int64_t reads_served_by_lease = 0;
+    std::int64_t reads_degraded = 0;  // lease-mode reads demoted to ReadIndex
     std::int64_t elections_started = 0;
     std::int64_t terms_won = 0;
   };
@@ -169,6 +175,9 @@ class RaftReplica : public sim::Process {
   ProcessId leader_hint() const { return leader_hint_; }
   const Stats& stats() const { return stats_; }
   const object::ObjectState& applied_state() const { return *state_; }
+  // Clock-health guard state, for the chaos checker's exposure-window
+  // accounting and tests.
+  const core::ClockSkewGuard& clock_guard() const { return clock_guard_; }
 
   // Observability: span histograms for the election round and the ReadIndex
   // confirmation round (see docs/OBSERVABILITY.md).
@@ -282,6 +291,7 @@ class RaftReplica : public sim::Process {
   std::map<OperationId, PendingClientOp> pending_ops_;
 
   Stats stats_;
+  core::ClockSkewGuard clock_guard_;
 
   // Observability (write-only from protocol code).
   metrics::Registry metrics_;
@@ -289,6 +299,8 @@ class RaftReplica : public sim::Process {
   metrics::Histogram* h_readindex_round_;  // read arrival -> answered
   metrics::Counter* c_recoveries_;
   metrics::Counter* c_recovered_entries_;
+  metrics::Counter* c_clock_transitions_;
+  metrics::Counter* c_reads_degraded_;
   metrics::Span span_recovery_;         // restart -> first live-protocol sign
 
   // Networked-client endpoint (declared after metrics_: ctor order).

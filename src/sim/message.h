@@ -22,6 +22,11 @@ struct Message {
   std::string type;
   std::any payload;
   RealTime sent_at;
+  // The sender's local clock reading at send time, stamped by Process::send.
+  // Receivers with a clock guard derive a sound pairwise-skew lower bound
+  // from it (clock_guard.h). LocalTime::min() marks an unstamped message
+  // (hand-crafted in tests); guards ignore those.
+  LocalTime sent_local = LocalTime::min();
 
   template <class T>
   const T& as() const {

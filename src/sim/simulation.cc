@@ -134,7 +134,8 @@ void Process::send(ProcessId to, std::string type, std::any payload) {
   if (crashed_) return;
   // Self-sends also go through the network (uniform accounting, no handler
   // reentrancy).
-  Message m{id_, to, std::move(type), std::move(payload), sim_->now()};
+  Message m{id_, to, std::move(type), std::move(payload), sim_->now(),
+            sim_->clock(id_).local_time(sim_->now())};
   sim_->network().send(std::move(m));
 }
 

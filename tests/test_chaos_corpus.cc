@@ -33,6 +33,11 @@ struct CorpusEntry {
   // earned them their place; client-path pins exercise the session machinery
   // and the exactly-once invariant.
   bool client_path = false;
+  // Clock-health guard (core/clock_guard.h). On (the sweep default) a
+  // skew-allowing profile is checked with full linearizability plus
+  // exposure-window excusing; off restores the legacy RMW-sub-history
+  // accounting that blanket-tolerates stale reads.
+  bool clock_guard = true;
 };
 
 const std::vector<CorpusEntry>& corpus() {
@@ -101,6 +106,18 @@ const std::vector<CorpusEntry>& corpus() {
        "session-table rebuild through crash loops", 0.5, true},
       {"vr", "power-cycle", "counter", 6,
        "session dedup across power cycles", 0.5, true},
+      // Skew-boundary pins for the clock-health guard. The guard-on cells
+      // are checked with full linearizability under exposure-window
+      // accounting (any stale read outside the injection..heal+drain window
+      // fails the run); the guard-off twin of the first cell pins the legacy
+      // RMW-sub-history accounting on the *same schedule*, so a behaviour
+      // drift between the two modes shows up as exactly one cell flipping.
+      {"chtread", "clock-storm", "kv", 21,
+       "guard-on exposure-window accounting pin"},
+      {"chtread", "clock-storm", "kv", 21,
+       "guard-off legacy stale-read accounting pin", 0.5, false, false},
+      {"raft-lease", "degraded-reads", "kv", 5,
+       "lease demotion to ReadIndex under pure-skew nemesis"},
   };
   return entries;
 }
@@ -117,6 +134,7 @@ TEST_P(ChaosCorpusTest, PinnedSeedStaysClean) {
   spec.ops = 40;
   spec.unsynced_key_loss = entry.key_loss;
   spec.client_path = entry.client_path;
+  spec.clock_guard = entry.clock_guard;
 
   const RunResult first = run_one(spec);
   EXPECT_TRUE(first.checker_decided) << entry.why;
@@ -136,6 +154,7 @@ std::string entry_name(const ::testing::TestParamInfo<CorpusEntry>& info) {
                      info.param.object + "_seed" +
                      std::to_string(info.param.seed);
   if (info.param.client_path) name += "_client";
+  if (!info.param.clock_guard) name += "_noguard";
   for (char& c : name) {
     if (c == '-') c = '_';
   }

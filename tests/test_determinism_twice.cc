@@ -168,6 +168,38 @@ TEST_P(DeterminismTwiceTest, CrashLoopRunIsByteIdentical) {
   EXPECT_GT(first.result.restarts, 0);
 }
 
+// Clock-storm determinism with the guard on: skew injections drive the
+// clock-health guard through suspect/requalify transitions, reroute pending
+// reads onto the degraded RMW path, and feed the exposure-window accounting
+// (skew events, guard transitions, excused-read counts all recorded in the
+// result). Every one of those moving parts must replay bit-identically —
+// including the artifact, which now serializes clock_guard and
+// reads_excused.
+TEST_P(DeterminismTwiceTest, ClockStormGuardOnRunIsByteIdentical) {
+  chaos::RunSpec spec;
+  spec.protocol = GetParam();
+  spec.profile = "clock-storm";
+  spec.object = "kv";
+  spec.seed = 23;
+  spec.ops = 40;
+
+  const CapturedRun first = run_captured(spec);
+  const CapturedRun second = run_captured(spec);
+
+  EXPECT_EQ(first.result.fingerprint, second.result.fingerprint);
+  EXPECT_EQ(first.result.violations, second.result.violations);
+  EXPECT_EQ(first.result.reads_excused, second.result.reads_excused);
+  EXPECT_EQ(first.result.nemesis_schedule, second.result.nemesis_schedule);
+  EXPECT_EQ(first.result.history, second.result.history);
+  EXPECT_EQ(first.artifact_bytes, second.artifact_bytes)
+      << "clock-storm repro artifact not byte-identical";
+  EXPECT_EQ(first.metrics_json, second.metrics_json)
+      << "clock-storm metrics not byte-identical";
+  EXPECT_GT(first.result.completed, 0u);
+  // The profile only earns its keep if clocks were actually skewed.
+  EXPECT_FALSE(first.result.skew_events.empty());
+}
+
 // Legacy direct-submit determinism: with the client path disabled the
 // harness injects operations straight into replicas (the pre-client data
 // path, still used when replaying old repro artifacts). Both routing modes

@@ -23,6 +23,12 @@ ClusterConfig robust_config(std::uint64_t seed) {
   config.seed = seed;
   config.delta = Duration::millis(10);
   config.epsilon = Duration::millis(1);
+  // These two scenarios document the *unguarded* failure modes the paper
+  // accepts under broken clocks (and that the clock-health guard exists to
+  // bound). With the guard on, the frozen-clock victim degrades its reads
+  // and the stale read never happens — that contrast is tested in
+  // test_clock_guard.cc.
+  config.clock_guard = false;
   return config;
 }
 

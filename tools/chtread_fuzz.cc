@@ -10,13 +10,13 @@
 // Usage:
 //   chtread_fuzz [--protocol=chtread|raft|raft-lease|vr|all]
 //                [--profile=calm|rolling-partitions|leader-hunter|
-//                 clock-storm|power-cycle|all]
+//                 clock-storm|power-cycle|crash-loop|degraded-reads|all]
 //                [--object=kv|counter|bank|queue|lock|all]
 //                [--seeds=200] [--seed-start=1] [--threads=0 (auto)]
 //                [--n=5] [--ops=80] [--read-fraction=0.5] [--key-skew=0.5]
 //                [--delta-ms=10] [--epsilon-ms=1] [--gst-ms=1000]
 //                [--loss=0.1] [--sync-latency-us=5000] [--key-loss=0.5]
-//                [--group-commit=1] [--client-path=1]
+//                [--group-commit=1] [--client-path=1] [--clock-guard=1]
 //                [--max-inflight=6] [--check-budget=500000]
 //                [--artifact-dir=.] [--metrics-out=PATH.json] [--verbose]
 //   chtread_fuzz --repro=<artifact-file>
@@ -107,6 +107,8 @@ Options parse(int argc, char** argv) {
       options.base.group_commit = std::stoi(value) != 0;
     } else if (parse_flag(arg, "client-path", value)) {
       options.base.client_path = std::stoi(value) != 0;
+    } else if (parse_flag(arg, "clock-guard", value)) {
+      options.base.clock_guard = std::stoi(value) != 0;
     } else if (parse_flag(arg, "max-inflight", value)) {
       options.base.max_inflight = std::stoi(value);
     } else if (parse_flag(arg, "check-budget", value)) {
